@@ -1,0 +1,417 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper (one benchmark per experiment id; see DESIGN.md), plus the
+// ablation benches for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+	"repro/internal/dht"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/instance"
+	"repro/internal/replication"
+	"repro/internal/twitter"
+)
+
+var (
+	worldOnce sync.Once
+	world     *dataset.World
+	twGraph   *graph.Directed
+	twDaily   []float64
+)
+
+// benchWorld lazily builds the calibrated Small world shared by all
+// experiment benchmarks.
+func benchWorld(b *testing.B) *dataset.World {
+	b.Helper()
+	worldOnce.Do(func() {
+		world = gen.Generate(gen.SmallConfig(1))
+		twGraph = twitter.Graph(twitter.DefaultGraphConfig(1, 20000))
+		twDaily = twitter.DailyDowntime(
+			twitter.Uptime(twitter.DefaultUptimeConfig(1, world.Days)), dataset.SlotsPerDay)
+	})
+	return world
+}
+
+func BenchmarkGenerateTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gen.Generate(gen.TinyConfig(uint64(i + 1)))
+	}
+}
+
+func BenchmarkFig01Growth(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig1Growth(w)
+	}
+}
+
+func BenchmarkFig02aOpenClosedCDF(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig2aOpenClosedCDF(w)
+	}
+}
+
+func BenchmarkFig02bOpenClosedShares(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig2bOpenClosedShares(w)
+	}
+}
+
+func BenchmarkFig02cActiveUsers(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig2cActiveUsers(w)
+	}
+}
+
+func BenchmarkFig03Categories(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig3Categories(w)
+	}
+}
+
+func BenchmarkFig04Activities(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig4Activities(w)
+	}
+}
+
+func BenchmarkFig05Hosting(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig5Hosting(w, 5)
+	}
+}
+
+func BenchmarkFig06CountryFlows(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig6CountryFlows(w, 5)
+	}
+}
+
+func BenchmarkFig07DowntimeCDF(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig7Downtime(w)
+	}
+}
+
+func BenchmarkFig08DailyDowntime(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig8DailyDowntime(w, twDaily)
+	}
+}
+
+func BenchmarkFig09aCAFootprint(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig9aCAFootprint(w)
+	}
+}
+
+func BenchmarkFig09bCertOutages(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig9bCertOutages(w, 90)
+	}
+}
+
+func BenchmarkTab01ASFailures(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Table1ASFailures(w, 8)
+	}
+}
+
+func BenchmarkFig10OutageDurations(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig10OutageDurations(w)
+	}
+}
+
+func BenchmarkFig11DegreeCDF(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig11DegreeCDF(w, twGraph)
+	}
+}
+
+func BenchmarkTab02TopInstances(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Table2TopInstances(w, 10)
+	}
+}
+
+func BenchmarkFig12UserRemoval(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig12UserRemoval(w, twGraph, 5)
+	}
+}
+
+func BenchmarkFig13aInstanceRemoval(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig13aInstanceRemoval(w, 100)
+	}
+}
+
+func BenchmarkFig13bASRemoval(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig13bASRemoval(w, 20)
+	}
+}
+
+func BenchmarkFig14HomeRemote(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig14HomeRemote(w)
+	}
+}
+
+func BenchmarkFig15Replication(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig15Replication(w, 50, 10)
+	}
+}
+
+func BenchmarkFig16RandomReplication(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Fig16RandomReplication(w, 25, 10, []int{1, 2, 3, 4, 7, 9})
+	}
+}
+
+// BenchmarkRunAll regenerates the entire evaluation section in one go.
+func BenchmarkRunAll(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.RunAll(w, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §3 data collection: crawl a live fediverse ---
+
+var (
+	crawlOnce sync.Once
+	crawlSrv  *httptest.Server
+	crawlDoms []string
+)
+
+func crawlTarget(b *testing.B) (*httptest.Server, []string) {
+	b.Helper()
+	crawlOnce.Do(func() {
+		cfg := gen.TinyConfig(2)
+		cfg.Instances = 50
+		cfg.Users = 600
+		cfg.Days = 30
+		w := gen.Generate(cfg)
+		net, err := instance.LoadWorld(context.Background(), w, instance.LoadOptions{MaxTootsPerUser: 3})
+		if err != nil {
+			panic(err)
+		}
+		crawlSrv = httptest.NewServer(net)
+		for i := range w.Instances {
+			crawlDoms = append(crawlDoms, w.Instances[i].Domain)
+		}
+	})
+	return crawlSrv, crawlDoms
+}
+
+func benchCrawl(b *testing.B, workers int) {
+	srv, domains := crawlTarget(b)
+	cli := &crawler.Client{Resolve: func(string) string { return srv.URL }}
+	tc := &crawler.TootCrawler{Client: cli, Workers: workers, Local: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := tc.Crawl(context.Background(), domains)
+		if crawler.Summarize(results).Toots == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+func BenchmarkCrawlWorld(b *testing.B) { benchCrawl(b, 10) }
+
+// --- Ablations (DESIGN.md) ---
+
+// Union-find vs BFS for weakly connected components.
+func BenchmarkAblationWCCUnionFind(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.WeaklyConnected(w.Social, nil)
+	}
+}
+
+func BenchmarkAblationWCCBFS(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.WeaklyConnectedBFS(w.Social, nil)
+	}
+}
+
+// Per-round SCC recomputation cost in the Fig 12 sweep.
+func BenchmarkAblationRemovalNoSCC(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.IterativeDegreeRemoval(w.Social, 0.01, 5, graph.SweepOptions{})
+	}
+}
+
+func BenchmarkAblationRemovalWithSCC(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.IterativeDegreeRemoval(w.Social, 0.01, 5, graph.SweepOptions{WithSCC: true})
+	}
+}
+
+// Monte-Carlo sample size vs the closed form for random replication.
+func benchRandRep(b *testing.B, s replication.Strategy) {
+	w := benchWorld(b)
+	exp := replication.New(w)
+	order := graph.RankDescending(w.InstanceTootWeights())
+	batches := graph.SingletonBatches(order, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Sweep(s, batches)
+	}
+}
+
+func BenchmarkAblationMonteCarloExact(b *testing.B) {
+	benchRandRep(b, replication.RandRep{N: 2, Exact: true})
+}
+
+func BenchmarkAblationMonteCarlo16(b *testing.B) {
+	benchRandRep(b, replication.RandRep{N: 2, Samples: 16, Seed: 1})
+}
+
+func BenchmarkAblationMonteCarlo128(b *testing.B) {
+	benchRandRep(b, replication.RandRep{N: 2, Samples: 128, Seed: 1})
+}
+
+// Crawler worker-pool width against a served world.
+func BenchmarkAblationCrawlWorkers1(b *testing.B)  { benchCrawl(b, 1) }
+func BenchmarkAblationCrawlWorkers4(b *testing.B)  { benchCrawl(b, 4) }
+func BenchmarkAblationCrawlWorkers16(b *testing.B) { benchCrawl(b, 16) }
+
+// Homophily strength: how country bias shapes the Fig 6 concentration.
+func benchHomophily(b *testing.B, countryBias float64) {
+	cfg := gen.TinyConfig(9)
+	cfg.CountryBias = countryBias
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := gen.Generate(cfg)
+		r := analysis.Fig6CountryFlows(w, 5)
+		if r.SameCountryPct < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkAblationHomophilyNone(b *testing.B)    { benchHomophily(b, 0) }
+func BenchmarkAblationHomophilyPaper(b *testing.B)   { benchHomophily(b, 0.25) }
+func BenchmarkAblationHomophilyExtreme(b *testing.B) { benchHomophily(b, 0.9) }
+
+// --- Extension experiments ---
+
+func BenchmarkExtBlocking(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ExtBlocking(w)
+	}
+}
+
+func BenchmarkExtCapacity(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ExtCapacity(w, 2, 20, 8)
+	}
+}
+
+func BenchmarkExtDHT(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ExtDHT(w, 50, 10)
+	}
+}
+
+func BenchmarkDHTLookup(b *testing.B) {
+	ring := dht.NewRing(3)
+	for i := 0; i < 1024; i++ {
+		ring.Join(fmt.Sprintf("instance-%04d.fedi.test", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Lookup(fmt.Sprintf("key-%d", i))
+	}
+}
+
+func BenchmarkWorldSaveLoad(b *testing.B) {
+	w := benchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := w.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataset.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

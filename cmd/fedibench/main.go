@@ -1,0 +1,68 @@
+// Command fedibench runs the paper's experiments against a world and prints
+// paper-style tables and series — one section per table/figure of the
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	fedibench -scale small                # generate and run everything
+//	fedibench -world world.fedi -run fig12,tab1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "world scale when generating: tiny | small | paper")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	worldFile := flag.String("world", "", "load a world file instead of generating")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all); see -list")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w *dataset.World
+	var err error
+	if *worldFile != "" {
+		w, err = dataset.LoadFile(*worldFile)
+	} else {
+		w, err = core.BuildWorld(core.Scale(*scale), *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedibench:", err)
+		os.Exit(2)
+	}
+
+	if *run == "" {
+		if err := core.RunAll(w, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fedibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		e, err := core.Find(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedibench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s — %s\n", e.ID, e.Title)
+		if err := e.Run(w, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fedibench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: generate a synthetic fediverse and print the paper's headline
+// findings plus one full experiment, in under a minute.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A tiny world builds in well under a second; use core.ScaleSmall for
+	// the calibrated experiment scale or core.ScalePaper for the full
+	// 4,328-instance population.
+	world, err := core.BuildWorld(core.ScaleTiny, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(core.Summary(world))
+	fmt.Println()
+
+	// Run one experiment by its DESIGN.md id: the Fig 12 resilience sweep.
+	exp, err := core.Find("fig12")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("==== %s — %s\n", exp.ID, exp.Title)
+	if err := exp.Run(world, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

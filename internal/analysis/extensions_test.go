@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtBlocking(t *testing.T) {
+	w := smallWorld(t)
+	r := ExtBlocking(w)
+	if r.BlockingInstances == 0 || r.BlockedPairs == 0 {
+		t.Fatal("no blocklists generated")
+	}
+	if r.FedLinksCutPct <= 0 || r.FedLinksCutPct > 25 {
+		t.Fatalf("federation links severed = %.1f%%, want a modest positive share", r.FedLinksCutPct)
+	}
+	if r.SocialEdgesCutPct <= 0 || r.SocialEdgesCutPct > 25 {
+		t.Fatalf("social edges severed = %.2f%%", r.SocialEdgesCutPct)
+	}
+	// The §7 answer: policy-driven blocking trims edges but does not
+	// meaningfully fragment the federation (the graph is redundant).
+	if r.LCCAfter < r.LCCBefore-0.05 {
+		t.Fatalf("LCC dropped %.3f → %.3f: blocking should not shatter GF", r.LCCBefore, r.LCCAfter)
+	}
+	if r.UserCoverageAfter < 0.9 {
+		t.Fatalf("user coverage after blocking = %.3f", r.UserCoverageAfter)
+	}
+}
+
+func TestExtCapacity(t *testing.T) {
+	w := smallWorld(t)
+	r := ExtCapacity(w, 2, 20, 8)
+	if len(r.Removed) != 21 || len(r.Uniform) != 21 {
+		t.Fatalf("series lengths: %d/%d", len(r.Removed), len(r.Uniform))
+	}
+	// The §5.2 pathology: capacity-proportional placement is much worse
+	// than uniform under top-instance failures; inverse-capacity at least
+	// matches uniform.
+	if r.Capacity[20] >= r.Uniform[20]-5 {
+		t.Fatalf("capacity placement %.1f should trail uniform %.1f clearly",
+			r.Capacity[20], r.Uniform[20])
+	}
+	if r.InverseCapacity[20] < r.Uniform[20]-2 {
+		t.Fatalf("inverse-capacity %.1f should keep up with uniform %.1f",
+			r.InverseCapacity[20], r.Uniform[20])
+	}
+	for i := 1; i < len(r.Removed); i++ {
+		for _, s := range [][]float64{r.Uniform, r.Capacity, r.InverseCapacity} {
+			if s[i] > s[i-1]+1e-6 {
+				t.Fatal("availability increased while removing instances")
+			}
+		}
+	}
+}
+
+func TestExtDHT(t *testing.T) {
+	w := smallWorld(t)
+	r := ExtDHT(w, 50, 10)
+	if r.Nodes != len(w.Instances) {
+		t.Fatalf("ring nodes = %d", r.Nodes)
+	}
+	if r.IndexedKeys == 0 {
+		t.Fatal("nothing indexed")
+	}
+	// Routing must be logarithmic-ish, far below linear.
+	if r.MeanHops > 2*math.Log2(float64(r.Nodes))+2 {
+		t.Fatalf("mean hops %.1f too high for %d nodes", r.MeanHops, r.Nodes)
+	}
+	if len(r.Removed) < 2 {
+		t.Fatalf("removal series too short: %v", r.Removed)
+	}
+	first, last := 0, len(r.Removed)-1
+	if r.IndexUpPct[first] != 100 || r.DiscoverPct[first] != 100 {
+		t.Fatalf("intact system should be fully discoverable: %v %v", r.IndexUpPct[first], r.DiscoverPct[first])
+	}
+	// With k=3 index replication over 1000 nodes, removing 50 instances
+	// barely touches index resolvability, while content discovery decays
+	// like the S-Rep availability curve.
+	if r.IndexUpPct[last] < 99 {
+		t.Fatalf("index resolvability dropped to %.1f%%; successor replication should protect it", r.IndexUpPct[last])
+	}
+	if r.DiscoverPct[last] >= r.IndexUpPct[last] {
+		t.Fatal("content discovery cannot exceed index resolvability")
+	}
+	if r.DiscoverPct[last] > 95 || r.DiscoverPct[last] < 20 {
+		t.Fatalf("discovery after 50 removals = %.1f%%, want an S-Rep-like decay", r.DiscoverPct[last])
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/stats"
+)
+
+// Table renders an aligned text table (the fedibench output format).
+// Widths are computed in runes so non-ASCII headers align.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision (fedibench cell helper).
+func F(x float64, prec int) string { return fmt.Sprintf("%.*f", prec, x) }
+
+// I formats an int.
+func I(x int) string { return fmt.Sprintf("%d", x) }
+
+// I64 formats an int64.
+func I64(x int64) string { return fmt.Sprintf("%d", x) }
+
+// CDFSummary renders the quartiles of a distribution on one line.
+func CDFSummary(e *stats.ECDF) string {
+	return fmt.Sprintf("n=%d min=%.3g p25=%.3g p50=%.3g p75=%.3g p90=%.3g max=%.3g",
+		e.Len(), e.Min(), e.Quantile(0.25), e.Quantile(0.5), e.Quantile(0.75),
+		e.Quantile(0.9), e.Max())
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+var (
+	worldOnce sync.Once
+	tinyWorld *dataset.World
+)
+
+func world(t *testing.T) *dataset.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		w, err := BuildWorld(ScaleTiny, 1)
+		if err != nil {
+			panic(err)
+		}
+		tinyWorld = w
+	})
+	return tinyWorld
+}
+
+func TestConfigForScale(t *testing.T) {
+	for _, s := range []Scale{ScaleTiny, ScaleSmall, ScalePaper} {
+		cfg, err := ConfigForScale(s, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Seed != 5 || cfg.Instances == 0 {
+			t.Fatalf("config for %s: %+v", s, cfg)
+		}
+	}
+	if _, err := ConfigForScale("galactic", 1); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+	if _, err := BuildWorld("galactic", 1); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestExperimentIndexComplete(t *testing.T) {
+	// DESIGN.md promises all 22 paper artefacts: figs 1-16 (2a-c, 9a-b,
+	// 13a-b split) and tables 1-2, plus the three extension experiments.
+	want := []string{
+		"fig1", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9a", "fig9b", "tab1", "fig10", "fig11", "tab2",
+		"fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16",
+		"ext-blocking", "ext-capacity", "ext-dht",
+	}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(exps), len(want))
+	}
+	for i, id := range want {
+		if exps[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+		if exps[i].Title == "" || exps[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if len(SortedExperimentIDs()) != len(want) {
+		t.Fatal("SortedExperimentIDs mismatch")
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("tab1")
+	if err != nil || e.ID != "tab1" {
+		t.Fatalf("Find: %v %v", e, err)
+	}
+	if _, err := Find("fig99"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	w := world(t)
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(w, &buf); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	w := world(t)
+	var buf bytes.Buffer
+	if err := RunAll(w, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "==== "+e.ID+" ") {
+			t.Fatalf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	w := world(t)
+	s := Summary(w)
+	for _, want := range []string{"finding 2", "finding 3", "finding 4", "instances"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package crawler implements the paper's measurement toolkit (§3):
+//
+//   - Monitor: the mnm.social-style prober that polls every instance's
+//     /api/v1/instance endpoint on a fixed cadence and records availability
+//     and metadata counters;
+//   - TootCrawler: the multi-worker harvester that pages through instance
+//     timelines ("we wrote a multi-threaded crawler ... iterating over the
+//     entire history of toots"), with per-host rate limiting so instances
+//     are not overwhelmed;
+//   - FollowerScraper: the follower-list collector that pages through the
+//     HTML follower pages and rebuilds the social graph;
+//   - Discoverer: snowball instance discovery over /api/v1/instance/peers.
+//
+// All components share a Client that can point real domains at a local
+// test server, a token-bucket rate limiter, and bounded retry with
+// exponential backoff. Everything honours context cancellation.
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client issues HTTP requests to instances. Resolve maps a domain to a base
+// URL (e.g. the address of an in-process test network); when nil the domain
+// is contacted directly over http.
+type Client struct {
+	HTTP      *http.Client
+	Resolve   func(domain string) string
+	UserAgent string
+
+	// Limiter, when set, bounds the per-host request rate.
+	Limiter *HostLimiter
+	// Retries is the number of attempts for retryable failures (0 = 3).
+	Retries int
+	// Backoff is the base backoff between attempts (0 = 50ms).
+	Backoff time.Duration
+}
+
+// StatusError reports a non-2xx response.
+type StatusError struct {
+	Domain string
+	Path   string
+	Code   int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("crawler: %s%s: status %d", e.Domain, e.Path, e.Code)
+}
+
+// retryable reports whether a fetch error is worth another attempt.
+func retryable(err error) bool {
+	var se *StatusError
+	if asStatusError(err, &se) {
+		return se.Code == http.StatusTooManyRequests || se.Code/100 == 5
+	}
+	// Transport-level failures (refused, reset, timeout) are retryable.
+	return true
+}
+
+func asStatusError(err error, target **StatusError) bool {
+	for err != nil {
+		if se, ok := err.(*StatusError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 3
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// Get fetches path from domain, returning the body. It rate-limits,
+// retries retryable failures with exponential backoff, and honours ctx.
+func (c *Client) Get(ctx context.Context, domain, path string) ([]byte, error) {
+	var lastErr error
+	backoff := c.backoff()
+	for attempt := 0; attempt < c.retries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if c.Limiter != nil {
+			if err := c.Limiter.Wait(ctx, domain); err != nil {
+				return nil, err
+			}
+		}
+		body, err := c.getOnce(ctx, domain, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) getOnce(ctx context.Context, domain, path string) ([]byte, error) {
+	base := "http://" + domain
+	if c.Resolve != nil {
+		base = c.Resolve(domain)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Host = domain
+	if c.UserAgent != "" {
+		req.Header.Set("User-Agent", c.UserAgent)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, &StatusError{Domain: domain, Path: path, Code: resp.StatusCode}
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
+// GetJSON fetches and decodes a JSON document.
+func (c *Client) GetJSON(ctx context.Context, domain, path string, v any) error {
+	body, err := c.Get(ctx, domain, path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("crawler: %s%s: bad JSON: %w", domain, path, err)
+	}
+	return nil
+}
+
+// forEach runs fn over items with at most workers goroutines, stopping early
+// on context cancellation. Errors from fn are returned in item order (nil
+// entries for successes).
+func forEach[T any](ctx context.Context, items []T, workers int, fn func(ctx context.Context, item T) error) []error {
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(items))
+	sem := make(chan struct{}, workers)
+	done := make(chan int, len(items))
+	launched := 0
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		case sem <- struct{}{}:
+		}
+		launched++
+		go func(i int) {
+			defer func() {
+				<-sem
+				done <- i
+			}()
+			errs[i] = fn(ctx, items[i])
+		}(i)
+	}
+	for k := 0; k < launched; k++ {
+		<-done
+	}
+	return errs
+}

@@ -1,0 +1,231 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHostLimiter(t *testing.T) {
+	l := NewHostLimiter(100, 2)
+	base := time.Unix(0, 0)
+	now := base
+	l.now = func() time.Time { return now }
+	// Burst of 2 is free.
+	if d := l.reserve("x"); d != 0 {
+		t.Fatalf("first reserve delayed %v", d)
+	}
+	if d := l.reserve("x"); d != 0 {
+		t.Fatalf("second reserve delayed %v", d)
+	}
+	// Third must wait ~10ms at 100 rps.
+	if d := l.reserve("x"); d < 5*time.Millisecond || d > 15*time.Millisecond {
+		t.Fatalf("third reserve delayed %v, want ≈10ms", d)
+	}
+	// Separate hosts have separate buckets.
+	if d := l.reserve("y"); d != 0 {
+		t.Fatalf("other host delayed %v", d)
+	}
+	// Refill after time passes.
+	now = now.Add(time.Second)
+	if d := l.reserve("x"); d != 0 {
+		t.Fatalf("after refill delayed %v", d)
+	}
+}
+
+func TestHostLimiterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHostLimiter(0, 1)
+}
+
+func TestHostLimiterWaitCancel(t *testing.T) {
+	l := NewHostLimiter(0.0001, 1)
+	if err := l.Wait(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Wait(ctx, "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+func TestClientRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+	c := &Client{
+		Resolve: func(string) string { return srv.URL },
+		Retries: 5,
+		Backoff: time.Millisecond,
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.GetJSON(context.Background(), "x.test", "/thing", &out); err != nil || !out.OK {
+		t.Fatalf("err=%v ok=%v", err, out.OK)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "forbidden", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	c := &Client{Resolve: func(string) string { return srv.URL }, Retries: 5, Backoff: time.Millisecond}
+	_, err := c.Get(context.Background(), "x.test", "/blocked")
+	var se *StatusError
+	if !asStatusError(err, &se) || se.Code != 403 {
+		t.Fatalf("err = %v, want 403 StatusError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (403 is not retryable)", calls.Load())
+	}
+	if se.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestClientBadJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer srv.Close()
+	c := &Client{Resolve: func(string) string { return srv.URL }, Backoff: time.Millisecond}
+	var v any
+	if err := c.GetJSON(context.Background(), "x.test", "/", &v); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "always failing", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Resolve: func(string) string { return srv.URL }, Retries: 10, Backoff: 10 * time.Millisecond}
+	if _, err := c.Get(ctx, "x.test", "/"); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	errs := forEach(context.Background(), items, 7, func(_ context.Context, v int) error {
+		sum.Add(int64(v))
+		if v == 13 {
+			return errors.New("unlucky")
+		}
+		return nil
+	})
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	for i, err := range errs {
+		if (i == 13) != (err != nil) {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+}
+
+func TestForEachCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs := forEach(ctx, []int{1, 2, 3}, 2, func(context.Context, int) error { return nil })
+	for _, err := range errs {
+		if err == nil {
+			t.Fatal("expected ctx errors for all items")
+		}
+	}
+}
+
+func TestSplitAcct(t *testing.T) {
+	u, d, ok := SplitAcct("alice@x.test")
+	if !ok || u != "alice" || d != "x.test" {
+		t.Fatalf("got %q %q %v", u, d, ok)
+	}
+	for _, bad := range []string{"", "alice", "@x", "alice@"} {
+		if _, _, ok := SplitAcct(bad); ok {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestDecodeStatus(t *testing.T) {
+	ws := wireStatus{ID: "17", CreatedAt: "2018-05-01T10:00:00.000Z", Content: "hi"}
+	ws.Account.Acct = "a@b.test"
+	rec, err := decodeStatus(ws)
+	if err != nil || rec.ID != 17 || rec.Acct != "a@b.test" {
+		t.Fatalf("rec=%+v err=%v", rec, err)
+	}
+	// RFC3339 fallback.
+	ws.CreatedAt = "2018-05-01T10:00:00Z"
+	if _, err := decodeStatus(ws); err != nil {
+		t.Fatalf("RFC3339 fallback failed: %v", err)
+	}
+	ws.CreatedAt = "yesterday"
+	if _, err := decodeStatus(ws); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+	ws.CreatedAt = "2018-05-01T10:00:00Z"
+	ws.ID = "xyz"
+	if _, err := decodeStatus(ws); err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestFollowerPageParsing(t *testing.T) {
+	html := `<html><body><ul>
+<li><a class="follower" href="https://b.test/users/u7">u7@b.test</a></li>
+<li><a class="follower" href="https://c.test/users/u9">u9@c.test</a></li>
+</ul><a rel="next" href="/users/alice/followers?page=2">next</a></body></html>`
+	ms := followerLink.FindAllStringSubmatch(html, -1)
+	if len(ms) != 2 || ms[0][1] != "b.test" || ms[0][2] != "u7" {
+		t.Fatalf("matches = %v", ms)
+	}
+	if nextLink.FindStringSubmatch(html) == nil {
+		t.Fatal("next link not found")
+	}
+	if nextLink.FindStringSubmatch("<html>no next</html>") != nil {
+		t.Fatal("false positive next link")
+	}
+}
+
+func TestAccountIndex(t *testing.T) {
+	idx, names := AccountIndex([]Edge{
+		{From: "b@y", To: "a@x"},
+		{From: "c@z", To: "a@x"},
+	})
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	// Sorted order: a@x, b@y, c@z.
+	if idx["a@x"] != 0 || idx["b@y"] != 1 || idx["c@z"] != 2 {
+		t.Fatalf("idx = %v", idx)
+	}
+}

@@ -1,0 +1,71 @@
+package crawler
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Discoverer performs snowball instance discovery: starting from seed
+// domains, it fetches each instance's peer list (/api/v1/instance/peers)
+// and keeps expanding until no new domains appear — how public instance
+// indexes like the one the paper used (mnm.social) are bootstrapped.
+type Discoverer struct {
+	Client   *Client
+	Workers  int // concurrent peer fetches (0 = 8)
+	MaxHosts int // safety cap on the discovered set (0 = 100000)
+}
+
+// Discover returns all reachable domains found from the seeds, sorted.
+// Unreachable domains are kept in the result only if they were seeds.
+func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
+	workers := d.Workers
+	if workers < 1 {
+		workers = 8
+	}
+	maxHosts := d.MaxHosts
+	if maxHosts <= 0 {
+		maxHosts = 100000
+	}
+
+	var mu sync.Mutex
+	known := make(map[string]struct{})
+	frontier := make([]string, 0, len(seeds))
+	for _, s := range seeds {
+		if _, ok := known[s]; !ok {
+			known[s] = struct{}{}
+			frontier = append(frontier, s)
+		}
+	}
+
+	for len(frontier) > 0 && ctx.Err() == nil {
+		next := make(map[string]struct{})
+		forEach(ctx, frontier, workers, func(ctx context.Context, domain string) error {
+			var peers []string
+			if err := d.Client.GetJSON(ctx, domain, "/api/v1/instance/peers", &peers); err != nil {
+				return err
+			}
+			mu.Lock()
+			for _, p := range peers {
+				if _, ok := known[p]; !ok && len(known) < maxHosts {
+					known[p] = struct{}{}
+					next[p] = struct{}{}
+				}
+			}
+			mu.Unlock()
+			return nil
+		})
+		frontier = frontier[:0]
+		for p := range next {
+			frontier = append(frontier, p)
+		}
+		sort.Strings(frontier) // deterministic expansion order
+	}
+
+	out := make([]string, 0, len(known))
+	for dom := range known {
+		out = append(out, dom)
+	}
+	sort.Strings(out)
+	return out
+}

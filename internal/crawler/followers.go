@@ -1,0 +1,114 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Edge is one follower relationship: From follows To (both user@domain).
+type Edge struct {
+	From string
+	To   string
+}
+
+// FollowerScraper rebuilds the social graph by paging through the HTML
+// follower lists at https://<domain>/users/<name>/followers (§3).
+type FollowerScraper struct {
+	Client   *Client
+	Workers  int // concurrent accounts (0 = 10)
+	MaxPages int // per-account page cap (0 = unlimited)
+}
+
+// followerLink matches the anchor tags of a follower page. The page format
+// is the one Mastodon renders; parsing is anchored on the follower class so
+// navigation links are not mistaken for followers.
+var followerLink = regexp.MustCompile(`<a class="follower" href="https?://([^/"]+)/users/([^/"]+)"`)
+
+// nextLink matches the rel=next pagination anchor.
+var nextLink = regexp.MustCompile(`<a rel="next" href="[^"]*page=(\d+)"`)
+
+// ScrapeAccount collects every follower of acct (user@domain). It returns
+// the edges follower→acct.
+func (fs *FollowerScraper) ScrapeAccount(ctx context.Context, acct string) ([]Edge, error) {
+	user, domain, ok := SplitAcct(acct)
+	if !ok {
+		return nil, fmt.Errorf("crawler: malformed acct %q", acct)
+	}
+	var edges []Edge
+	page := 1
+	for {
+		if fs.MaxPages > 0 && page > fs.MaxPages {
+			return edges, nil
+		}
+		path := fmt.Sprintf("/users/%s/followers?page=%d", user, page)
+		body, err := fs.Client.Get(ctx, domain, path)
+		if err != nil {
+			return edges, err
+		}
+		for _, m := range followerLink.FindAllSubmatch(body, -1) {
+			edges = append(edges, Edge{
+				From: string(m[2]) + "@" + string(m[1]),
+				To:   acct,
+			})
+		}
+		next := nextLink.FindSubmatch(body)
+		if next == nil {
+			return edges, nil
+		}
+		page++
+	}
+}
+
+// ScrapeResult is the outcome of a full follower crawl.
+type ScrapeResult struct {
+	Edges  []Edge
+	Errors map[string]error // per-acct failures
+}
+
+// Scrape collects the follower lists of all accounts concurrently.
+func (fs *FollowerScraper) Scrape(ctx context.Context, accts []string) ScrapeResult {
+	workers := fs.Workers
+	if workers < 1 {
+		workers = 10
+	}
+	perAcct := make([][]Edge, len(accts))
+	idx := make([]int, len(accts))
+	for i := range idx {
+		idx[i] = i
+	}
+	errs := forEach(ctx, idx, workers, func(ctx context.Context, i int) error {
+		edges, err := fs.ScrapeAccount(ctx, accts[i])
+		perAcct[i] = edges
+		return err
+	})
+	res := ScrapeResult{Errors: make(map[string]error)}
+	for i, es := range perAcct {
+		res.Edges = append(res.Edges, es...)
+		if errs[i] != nil {
+			res.Errors[accts[i]] = errs[i]
+		}
+	}
+	return res
+}
+
+// AccountIndex assigns dense ids to every account appearing in edges, in
+// deterministic (sorted) order, returning the index and the reverse list.
+func AccountIndex(edges []Edge) (map[string]int32, []string) {
+	set := make(map[string]struct{}, len(edges))
+	for _, e := range edges {
+		set[e.From] = struct{}{}
+		set[e.To] = struct{}{}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		idx[n] = int32(i)
+	}
+	return idx, names
+}

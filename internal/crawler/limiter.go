@@ -1,0 +1,78 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// HostLimiter is a per-host token bucket: each host gets Burst tokens that
+// refill at Rate tokens per second. It implements the paper's "artificial
+// delays between API calls to limit any effects on the instance operations".
+type HostLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewHostLimiter builds a limiter with the given steady-state rate
+// (requests/second) and burst size. rate and burst must be positive.
+func NewHostLimiter(rate, burst float64) *HostLimiter {
+	if rate <= 0 || burst <= 0 {
+		panic("crawler: limiter rate and burst must be positive")
+	}
+	return &HostLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// reserve takes one token for host, returning how long the caller must wait
+// before proceeding (0 = immediately).
+func (l *HostLimiter) reserve(host string) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[host]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[host] = b
+	}
+	// Refill.
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / l.rate * float64(time.Second))
+}
+
+// Wait blocks until a request to host is allowed or ctx is cancelled.
+func (l *HostLimiter) Wait(ctx context.Context, host string) error {
+	d := l.reserve(host)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

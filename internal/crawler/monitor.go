@@ -1,0 +1,178 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Sample is one probe datapoint: what mnm.social recorded for one instance
+// every five minutes (§3).
+type Sample struct {
+	Domain  string
+	At      time.Time
+	Online  bool
+	Users   int
+	Toots   int64
+	Peers   int
+	Open    bool
+	Version string
+}
+
+// Monitor polls the instance API of a fixed instance population.
+type Monitor struct {
+	Client  *Client
+	Domains []string
+	Workers int
+	// Now is the timestamp source (defaults to time.Now); overridable so
+	// replayed probes can carry simulated time.
+	Now func() time.Time
+}
+
+type monitorInfo struct {
+	URI           string `json:"uri"`
+	Version       string `json:"version"`
+	Registrations bool   `json:"registrations"`
+	Stats         struct {
+		UserCount   int   `json:"user_count"`
+		StatusCount int64 `json:"status_count"`
+		DomainCount int   `json:"domain_count"`
+	} `json:"stats"`
+}
+
+// PollOnce probes every domain once, concurrently, and returns one sample
+// per domain (offline instances yield Online=false samples).
+func (m *Monitor) PollOnce(ctx context.Context) []Sample {
+	now := time.Now
+	if m.Now != nil {
+		now = m.Now
+	}
+	samples := make([]Sample, len(m.Domains))
+	workers := m.Workers
+	if workers < 1 {
+		workers = 16
+	}
+	idx := make([]int, len(m.Domains))
+	for i := range idx {
+		idx[i] = i
+	}
+	forEach(ctx, idx, workers, func(ctx context.Context, i int) error {
+		domain := m.Domains[i]
+		s := Sample{Domain: domain, At: now()}
+		var info monitorInfo
+		if err := m.Client.GetJSON(ctx, domain, "/api/v1/instance", &info); err == nil {
+			s.Online = true
+			s.Users = info.Stats.UserCount
+			s.Toots = info.Stats.StatusCount
+			s.Peers = info.Stats.DomainCount
+			s.Open = info.Registrations
+			s.Version = info.Version
+		}
+		samples[i] = s
+		return nil
+	})
+	return samples
+}
+
+// Run polls on the given cadence until ctx is cancelled, sending each round
+// of samples to sink. The first round fires immediately.
+func (m *Monitor) Run(ctx context.Context, interval time.Duration, sink func([]Sample)) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		sink(m.PollOnce(ctx))
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ProbeLog accumulates samples and answers availability questions — the
+// bridge from raw monitoring to the §4.4 analyses.
+type ProbeLog struct {
+	mu      sync.Mutex
+	byInst  map[string][]Sample
+	domains []string
+}
+
+// NewProbeLog returns an empty log.
+func NewProbeLog() *ProbeLog {
+	return &ProbeLog{byInst: make(map[string][]Sample)}
+}
+
+// Add appends a round of samples.
+func (p *ProbeLog) Add(samples []Sample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range samples {
+		if _, ok := p.byInst[s.Domain]; !ok {
+			p.domains = append(p.domains, s.Domain)
+		}
+		p.byInst[s.Domain] = append(p.byInst[s.Domain], s)
+	}
+}
+
+// Domains lists probed domains in first-seen order.
+func (p *ProbeLog) Domains() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.domains...)
+}
+
+// Samples returns the samples recorded for a domain.
+func (p *ProbeLog) Samples(domain string) []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Sample(nil), p.byInst[domain]...)
+}
+
+// DowntimeFraction returns the fraction of probes that found the domain
+// offline (0 if never probed).
+func (p *ProbeLog) DowntimeFraction(domain string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ss := p.byInst[domain]
+	if len(ss) == 0 {
+		return 0
+	}
+	down := 0
+	for _, s := range ss {
+		if !s.Online {
+			down++
+		}
+	}
+	return float64(down) / float64(len(ss))
+}
+
+// ToTraceSet converts the probe log into the §4.4 trace representation:
+// one bit per recorded round per domain, in domain first-seen order. It
+// bridges live monitoring to every availability analysis (downtime CDFs,
+// outage durations, AS-failure detection). Returns the trace set and the
+// domain order; domains probed an unequal number of rounds are padded as
+// down (unprobed = unobserved = unreachable to the prober).
+func (p *ProbeLog) ToTraceSet(slotsPerDay int) (*sim.TraceSet, []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rounds := 0
+	for _, ss := range p.byInst {
+		if len(ss) > rounds {
+			rounds = len(ss)
+		}
+	}
+	ts := &sim.TraceSet{SlotsPerDay: slotsPerDay, Traces: make([]*sim.Trace, len(p.domains))}
+	for i, d := range p.domains {
+		tr := sim.NewTrace(rounds)
+		ss := p.byInst[d]
+		for slot := 0; slot < rounds; slot++ {
+			if slot >= len(ss) || !ss[slot].Online {
+				tr.SetDown(slot)
+			}
+		}
+		ts.Traces[i] = tr
+	}
+	return ts, append([]string(nil), p.domains...)
+}

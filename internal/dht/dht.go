@@ -1,0 +1,272 @@
+// Package dht implements the distributed global toot index that §5.2 of
+// the paper assumes twice ("we assume the presence of a global index (such
+// as a Distributed Hash Table) to discover toots in such replicas",
+// citing Tapestry): a Chord-style consistent-hashing ring over instance
+// domains with finger-table routing and successor-list replication of
+// index entries.
+//
+// The ring stores, for each key (e.g. a toot or author id), the list of
+// instances holding replicas. Lookups route greedily through finger tables
+// (O(log n) hops); entries are replicated onto the key's first
+// ReplicationFactor distinct successors so the index itself survives the
+// instance failures studied in §5.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplication is the successor-list replication factor for index
+// entries.
+const DefaultReplication = 3
+
+// hashKey maps a string onto the 64-bit identifier ring.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// node is one ring participant.
+type node struct {
+	id     uint64
+	name   string
+	finger []int // indexes into the sorted ring, successor(id + 2^j)
+}
+
+// Ring is a Chord-style DHT over named nodes. All methods are safe for
+// concurrent use.
+type Ring struct {
+	mu          sync.RWMutex
+	replication int
+	nodes       []*node // sorted by id
+	byName      map[string]*node
+	down        map[string]bool
+	store       map[uint64]entry // key hash → value + home position
+	fingersOK   bool
+}
+
+type entry struct {
+	key   string
+	value []string // e.g. replica-holding instance domains
+}
+
+// NewRing returns an empty ring with the given index replication factor
+// (≤0 means DefaultReplication).
+func NewRing(replication int) *Ring {
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	return &Ring{
+		replication: replication,
+		byName:      make(map[string]*node),
+		down:        make(map[string]bool),
+		store:       make(map[uint64]entry),
+	}
+}
+
+// Join adds a node to the ring. Joining an existing name is a no-op.
+func (r *Ring) Join(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	n := &node{id: hashKey("node:" + name), name: name}
+	r.byName[name] = n
+	r.nodes = append(r.nodes, n)
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].id < r.nodes[j].id })
+	r.fingersOK = false
+}
+
+// Leave removes a node permanently.
+func (r *Ring) Leave(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.byName[name]
+	if !ok {
+		return
+	}
+	delete(r.byName, name)
+	delete(r.down, name)
+	for i, m := range r.nodes {
+		if m == n {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			break
+		}
+	}
+	r.fingersOK = false
+}
+
+// SetDown marks a node as failed (true) or recovered (false) without
+// removing it from the ring — the §5 failure model.
+func (r *Ring) SetDown(name string, down bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return
+	}
+	if down {
+		r.down[name] = true
+	} else {
+		delete(r.down, name)
+	}
+}
+
+// Size returns the number of ring members (up or down).
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// successorIndex returns the position of the first node with id ≥ h
+// (wrapping).
+func (r *Ring) successorIndex(h uint64) int {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= h })
+	if i == len(r.nodes) {
+		return 0
+	}
+	return i
+}
+
+// rebuildFingers recomputes every node's finger table. O(n · 64 · log n).
+func (r *Ring) rebuildFingers() {
+	for _, n := range r.nodes {
+		n.finger = n.finger[:0]
+		for j := 0; j < 64; j++ {
+			target := n.id + (uint64(1) << uint(j)) // wrapping addition
+			n.finger = append(n.finger, r.successorIndex(target))
+		}
+	}
+	r.fingersOK = true
+}
+
+// distance is the clockwise distance from a to b on the ring.
+func distance(a, b uint64) uint64 { return b - a } // uint64 wraparound is exactly ring arithmetic
+
+// Lookup routes from an arbitrary start node to the key's successor,
+// returning the owner name and the hop count. It panics on an empty ring.
+func (r *Ring) Lookup(key string) (owner string, hops int) {
+	r.mu.Lock()
+	if len(r.nodes) == 0 {
+		r.mu.Unlock()
+		panic("dht: lookup on empty ring")
+	}
+	if !r.fingersOK {
+		r.rebuildFingers()
+	}
+	h := hashKey(key)
+	target := r.nodes[r.successorIndex(h)]
+	// Route greedily from a deterministic start (the key hash rotated, so
+	// different keys start at different nodes).
+	cur := r.nodes[r.successorIndex(h*0x9e3779b97f4a7c15+1)]
+	for cur != target {
+		// Jump to the finger that gets closest to (but not past) the key's
+		// successor; fall back to immediate successor.
+		best := r.nodes[(r.successorIndex(cur.id+1))%len(r.nodes)]
+		bestDist := distance(best.id, target.id)
+		for _, fi := range cur.finger {
+			f := r.nodes[fi]
+			if f == cur {
+				continue
+			}
+			// f must not overshoot: distance(cur→f) ≤ distance(cur→target).
+			if distance(cur.id, f.id) <= distance(cur.id, target.id) {
+				if d := distance(f.id, target.id); d <= bestDist {
+					best, bestDist = f, d
+				}
+			}
+		}
+		if best == cur {
+			break
+		}
+		cur = best
+		hops++
+	}
+	name := target.name
+	r.mu.Unlock()
+	return name, hops
+}
+
+// replicaNodes returns the first k distinct ring members responsible for h.
+func (r *Ring) replicaNodes(h uint64) []*node {
+	k := r.replication
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	out := make([]*node, 0, k)
+	i := r.successorIndex(h)
+	for len(out) < k {
+		out = append(out, r.nodes[(i+len(out))%len(r.nodes)])
+	}
+	return out
+}
+
+// Put stores the value under key, replicated onto the key's successor
+// list. It returns the names of the index holders.
+func (r *Ring) Put(key string, value []string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.nodes) == 0 {
+		panic("dht: put on empty ring")
+	}
+	h := hashKey(key)
+	r.store[h] = entry{key: key, value: append([]string(nil), value...)}
+	holders := make([]string, 0, r.replication)
+	for _, n := range r.replicaNodes(h) {
+		holders = append(holders, n.name)
+	}
+	return holders
+}
+
+// Get retrieves the value for key. It fails when the key is absent or when
+// every index replica holder is down (the index itself has become
+// unreachable). attempts reports how many holders were tried.
+func (r *Ring) Get(key string) (value []string, attempts int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.nodes) == 0 {
+		return nil, 0, fmt.Errorf("dht: empty ring")
+	}
+	h := hashKey(key)
+	e, ok := r.store[h]
+	if !ok || e.key != key {
+		return nil, 0, fmt.Errorf("dht: key %q not found", key)
+	}
+	for _, n := range r.replicaNodes(h) {
+		attempts++
+		if !r.down[n.name] {
+			return append([]string(nil), e.value...), attempts, nil
+		}
+	}
+	return nil, attempts, fmt.Errorf("dht: all %d index replicas of %q are down", attempts, key)
+}
+
+// Stats summarises routing efficiency over a sample of keys.
+type Stats struct {
+	Keys     int
+	MeanHops float64
+	MaxHops  int
+}
+
+// RouteStats measures lookup hop counts for n synthetic keys — the
+// O(log N) routing property.
+func (r *Ring) RouteStats(n int) Stats {
+	s := Stats{Keys: n}
+	total := 0
+	for i := 0; i < n; i++ {
+		_, hops := r.Lookup(fmt.Sprintf("probe-key-%d", i))
+		total += hops
+		if hops > s.MaxHops {
+			s.MaxHops = hops
+		}
+	}
+	if n > 0 {
+		s.MeanHops = float64(total) / float64(n)
+	}
+	return s
+}

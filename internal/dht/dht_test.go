@@ -1,0 +1,190 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ringOf(n int) *Ring {
+	r := NewRing(3)
+	for i := 0; i < n; i++ {
+		r.Join(fmt.Sprintf("instance-%03d.fedi.test", i))
+	}
+	return r
+}
+
+func TestJoinLeave(t *testing.T) {
+	r := ringOf(10)
+	if r.Size() != 10 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	r.Join("instance-003.fedi.test") // duplicate join is a no-op
+	if r.Size() != 10 {
+		t.Fatal("duplicate join changed size")
+	}
+	r.Leave("instance-003.fedi.test")
+	if r.Size() != 9 {
+		t.Fatalf("size after leave = %d", r.Size())
+	}
+	r.Leave("ghost") // unknown leave is a no-op
+	if r.Size() != 9 {
+		t.Fatal("ghost leave changed size")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	r := ringOf(20)
+	holders := r.Put("toot:42", []string{"a.test", "b.test"})
+	if len(holders) != 3 {
+		t.Fatalf("holders = %v", holders)
+	}
+	val, attempts, err := r.Get("toot:42")
+	if err != nil || attempts != 1 {
+		t.Fatalf("get: %v (attempts %d)", err, attempts)
+	}
+	if len(val) != 2 || val[0] != "a.test" {
+		t.Fatalf("value = %v", val)
+	}
+	if _, _, err := r.Get("missing"); err == nil {
+		t.Fatal("expected miss")
+	}
+}
+
+func TestGetSurvivesReplicaFailures(t *testing.T) {
+	r := ringOf(20)
+	holders := r.Put("toot:7", []string{"x.test"})
+	// Kill the first two holders: the third still serves the entry.
+	r.SetDown(holders[0], true)
+	r.SetDown(holders[1], true)
+	val, attempts, err := r.Get("toot:7")
+	if err != nil || attempts != 3 {
+		t.Fatalf("get after 2 failures: err=%v attempts=%d", err, attempts)
+	}
+	if val[0] != "x.test" {
+		t.Fatalf("value = %v", val)
+	}
+	// Kill the last holder: the index entry is unreachable.
+	r.SetDown(holders[2], true)
+	if _, _, err := r.Get("toot:7"); err == nil {
+		t.Fatal("expected failure with all replicas down")
+	}
+	// Recovery brings it back.
+	r.SetDown(holders[1], false)
+	if _, _, err := r.Get("toot:7"); err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+}
+
+func TestSetDownUnknownNode(t *testing.T) {
+	r := ringOf(3)
+	r.SetDown("ghost", true) // must not panic or corrupt state
+	if r.Size() != 3 {
+		t.Fatal("size changed")
+	}
+}
+
+func TestLookupOwnerConsistency(t *testing.T) {
+	r := ringOf(50)
+	// The owner of a key is stable and independent of the routing path.
+	o1, _ := r.Lookup("toot:123")
+	o2, _ := r.Lookup("toot:123")
+	if o1 != o2 {
+		t.Fatalf("owners differ: %s vs %s", o1, o2)
+	}
+	// Put holders start with the owner.
+	holders := r.Put("toot:123", []string{"v"})
+	if holders[0] != o1 {
+		t.Fatalf("primary holder %s != lookup owner %s", holders[0], o1)
+	}
+}
+
+func TestRoutingIsLogarithmic(t *testing.T) {
+	for _, n := range []int{16, 256, 1024} {
+		r := ringOf(n)
+		s := r.RouteStats(200)
+		bound := 2*math.Log2(float64(n)) + 2
+		if s.MeanHops > bound {
+			t.Fatalf("n=%d: mean hops %.1f exceeds 2·log2(n)+2 = %.1f", n, s.MeanHops, bound)
+		}
+		if s.MaxHops > 4*int(math.Log2(float64(n)))+8 {
+			t.Fatalf("n=%d: max hops %d too high", n, s.MaxHops)
+		}
+	}
+}
+
+func TestEmptyRingPanicsAndErrors(t *testing.T) {
+	r := NewRing(0)
+	if _, _, err := r.Get("k"); err == nil {
+		t.Fatal("expected error on empty ring get")
+	}
+	for _, f := range []func(){
+		func() { r.Lookup("k") },
+		func() { r.Put("k", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on empty ring")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReplicationClampedToRingSize(t *testing.T) {
+	r := NewRing(5)
+	r.Join("only.test")
+	holders := r.Put("k", []string{"v"})
+	if len(holders) != 1 || holders[0] != "only.test" {
+		t.Fatalf("holders = %v", holders)
+	}
+}
+
+// Property: every stored key is retrievable while at least one of its
+// holders is up, and its owner is among the holders.
+func TestPutGetProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, keysRaw uint8) bool {
+		n := int(nRaw%40) + 3
+		r := ringOf(n)
+		keys := int(keysRaw%20) + 1
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("key-%d-%d", seed, k)
+			holders := r.Put(key, []string{key + "-value"})
+			owner, _ := r.Lookup(key)
+			if holders[0] != owner {
+				return false
+			}
+			// Kill all but the last holder.
+			for _, h := range holders[:len(holders)-1] {
+				r.SetDown(h, true)
+			}
+			val, _, err := r.Get(key)
+			if err != nil || val[0] != key+"-value" {
+				return false
+			}
+			for _, h := range holders {
+				r.SetDown(h, false)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lookups terminate (bounded hops) for arbitrary ring sizes.
+func TestLookupTerminatesProperty(t *testing.T) {
+	f := func(nRaw uint8, key string) bool {
+		n := int(nRaw%60) + 1
+		r := ringOf(n)
+		_, hops := r.Lookup(key)
+		return hops <= 10*64 // generous upper bound; just must terminate quickly
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package federation implements the subscription protocol between instances
+// — the ActivityPub-style layer (§2) that lets a user on one instance follow
+// a user on another. It defines the wire activities, the per-instance
+// subscription table, and pluggable transports (in-process for simulation,
+// HTTP for served networks).
+//
+// The protocol is a faithful miniature of the Mastodon/Pleroma flow:
+//
+//	follower's instance --Follow--> author's instance   (subscribe)
+//	author's instance   --Create--> subscriber inboxes  (push toots)
+//	follower's instance --Undo-->   author's instance   (unsubscribe)
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ActivityType enumerates the wire activity kinds.
+type ActivityType string
+
+// The supported activity kinds.
+const (
+	TypeFollow ActivityType = "Follow"
+	TypeUndo   ActivityType = "Undo"
+	TypeCreate ActivityType = "Create"
+	TypeBoost  ActivityType = "Announce"
+)
+
+// Actor identifies an account as user@domain.
+type Actor struct {
+	User   string `json:"user"`
+	Domain string `json:"domain"`
+}
+
+// String renders the canonical user@domain form.
+func (a Actor) String() string { return a.User + "@" + a.Domain }
+
+// ParseActor parses user@domain.
+func ParseActor(s string) (Actor, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '@' {
+			if i == 0 || i == len(s)-1 {
+				break
+			}
+			return Actor{User: s[:i], Domain: s[i+1:]}, nil
+		}
+	}
+	return Actor{}, fmt.Errorf("federation: malformed actor %q", s)
+}
+
+// Note is the content payload of a Create activity (a toot on the wire).
+type Note struct {
+	ID        string    `json:"id"`
+	Author    Actor     `json:"author"`
+	Content   string    `json:"content"`
+	Hashtags  []string  `json:"hashtags,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Activity is the federation envelope.
+type Activity struct {
+	Type   ActivityType `json:"type"`
+	From   Actor        `json:"from"`             // initiating account
+	Target Actor        `json:"target,omitempty"` // followed/unfollowed account
+	Note   *Note        `json:"note,omitempty"`   // payload for Create/Announce
+}
+
+// Validate checks structural invariants before an activity is accepted.
+func (a *Activity) Validate() error {
+	if a.From.User == "" || a.From.Domain == "" {
+		return fmt.Errorf("federation: %s activity without a from actor", a.Type)
+	}
+	switch a.Type {
+	case TypeFollow, TypeUndo:
+		if a.Target.User == "" || a.Target.Domain == "" {
+			return fmt.Errorf("federation: %s activity without a target", a.Type)
+		}
+	case TypeCreate, TypeBoost:
+		if a.Note == nil {
+			return fmt.Errorf("federation: %s activity without a note", a.Type)
+		}
+		if a.Note.ID == "" {
+			return fmt.Errorf("federation: note without id")
+		}
+	default:
+		return fmt.Errorf("federation: unknown activity type %q", a.Type)
+	}
+	return nil
+}
+
+// Encode serialises the activity to JSON.
+func (a *Activity) Encode() ([]byte, error) { return json.Marshal(a) }
+
+// DecodeActivity parses and validates a wire activity.
+func DecodeActivity(data []byte) (*Activity, error) {
+	var a Activity
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("federation: bad activity: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

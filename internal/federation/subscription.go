@@ -1,0 +1,120 @@
+package federation
+
+import (
+	"sort"
+	"sync"
+)
+
+// Subscriptions is one instance's view of federation: which remote accounts
+// its local users follow (driving inbound pulls) and which remote instances
+// subscribed to which local accounts (driving outbound pushes). It is safe
+// for concurrent use.
+type Subscriptions struct {
+	mu sync.RWMutex
+	// subscribers[localUser] = set of remote domains that must receive the
+	// user's toots (because somebody there follows the user).
+	subscribers map[string]map[string]int
+	// remoteFollows[localUser@] counts local follows of remote accounts,
+	// keyed by remote actor string; used for the instance-API subscription
+	// count and the federated-timeline bootstrap.
+	remoteFollows map[string]int
+	// peers = distinct remote domains this instance exchanges with.
+	peers map[string]int
+}
+
+// NewSubscriptions returns an empty table.
+func NewSubscriptions() *Subscriptions {
+	return &Subscriptions{
+		subscribers:   make(map[string]map[string]int),
+		remoteFollows: make(map[string]int),
+		peers:         make(map[string]int),
+	}
+}
+
+// AddSubscriber registers that domain must receive localUser's toots.
+func (s *Subscriptions) AddSubscriber(localUser, domain string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.subscribers[localUser]
+	if m == nil {
+		m = make(map[string]int)
+		s.subscribers[localUser] = m
+	}
+	m[domain]++
+	s.peers[domain]++
+}
+
+// RemoveSubscriber drops one subscription of domain to localUser.
+func (s *Subscriptions) RemoveSubscriber(localUser, domain string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.subscribers[localUser]; m != nil {
+		if m[domain]--; m[domain] <= 0 {
+			delete(m, domain)
+		}
+		if len(m) == 0 {
+			delete(s.subscribers, localUser)
+		}
+	}
+	if s.peers[domain]--; s.peers[domain] <= 0 {
+		delete(s.peers, domain)
+	}
+}
+
+// SubscriberDomains returns the remote domains following localUser, sorted.
+func (s *Subscriptions) SubscriberDomains(localUser string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.subscribers[localUser]
+	out := make([]string, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRemoteFollow records that a local user follows the remote actor.
+func (s *Subscriptions) AddRemoteFollow(remote Actor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remoteFollows[remote.String()]++
+	s.peers[remote.Domain]++
+}
+
+// RemoveRemoteFollow drops one local follow of the remote actor.
+func (s *Subscriptions) RemoveRemoteFollow(remote Actor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := remote.String()
+	if s.remoteFollows[key]--; s.remoteFollows[key] <= 0 {
+		delete(s.remoteFollows, key)
+	}
+	if s.peers[remote.Domain]--; s.peers[remote.Domain] <= 0 {
+		delete(s.peers, remote.Domain)
+	}
+}
+
+// RemoteFollowCount returns the number of live remote-follow relationships.
+func (s *Subscriptions) RemoteFollowCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, c := range s.remoteFollows {
+		n += c
+	}
+	return n
+}
+
+// PeerDomains returns the distinct remote domains this instance federates
+// with, sorted — the "federated subscriptions" count of the instance API.
+func (s *Subscriptions) PeerDomains() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.peers))
+	for d := range s.peers {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

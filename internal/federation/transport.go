@@ -1,0 +1,142 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Inbox is implemented by anything that can receive federation activities
+// (an instance server).
+type Inbox interface {
+	// Domain returns the instance's domain.
+	Domain() string
+	// Receive processes one inbound activity.
+	Receive(ctx context.Context, a *Activity) error
+}
+
+// Transport delivers activities between instances.
+type Transport interface {
+	// Deliver sends an activity to the instance at domain.
+	Deliver(ctx context.Context, domain string, a *Activity) error
+}
+
+// Bus is an in-process Transport: a registry of inboxes with a bounded
+// worker pool for asynchronous delivery. It backs whole simulated fediverses
+// running inside one process.
+type Bus struct {
+	mu     sync.RWMutex
+	boxes  map[string]Inbox
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	errsMu sync.Mutex
+	errs   []error
+}
+
+// NewBus returns a Bus allowing at most workers concurrent async deliveries.
+func NewBus(workers int) *Bus {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Bus{
+		boxes: make(map[string]Inbox),
+		sem:   make(chan struct{}, workers),
+	}
+}
+
+// Register adds an inbox. Re-registering a domain replaces it.
+func (b *Bus) Register(in Inbox) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.boxes[in.Domain()] = in
+}
+
+// Unregister removes a domain (an instance going offline).
+func (b *Bus) Unregister(domain string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.boxes, domain)
+}
+
+// Deliver implements Transport synchronously.
+func (b *Bus) Deliver(ctx context.Context, domain string, a *Activity) error {
+	b.mu.RLock()
+	in, ok := b.boxes[domain]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("federation: no inbox for %s", domain)
+	}
+	return in.Receive(ctx, a)
+}
+
+// DeliverAsync queues a delivery on the worker pool. Errors are collected
+// and retrievable via Errs after Wait.
+func (b *Bus) DeliverAsync(ctx context.Context, domain string, a *Activity) {
+	b.wg.Add(1)
+	b.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-b.sem
+			b.wg.Done()
+		}()
+		if err := b.Deliver(ctx, domain, a); err != nil {
+			b.errsMu.Lock()
+			b.errs = append(b.errs, err)
+			b.errsMu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until all queued async deliveries complete.
+func (b *Bus) Wait() { b.wg.Wait() }
+
+// Errs returns delivery errors accumulated so far.
+func (b *Bus) Errs() []error {
+	b.errsMu.Lock()
+	defer b.errsMu.Unlock()
+	return append([]error(nil), b.errs...)
+}
+
+// HTTPTransport delivers activities by POSTing JSON to
+// http://<resolved>/inbox with the Host header set to the target domain.
+// Resolve maps a domain to a base URL ("http://127.0.0.1:4040"); when nil,
+// the domain itself is used ("http://<domain>").
+type HTTPTransport struct {
+	Client  *http.Client
+	Resolve func(domain string) string
+}
+
+// Deliver implements Transport.
+func (t *HTTPTransport) Deliver(ctx context.Context, domain string, a *Activity) error {
+	body, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	base := "http://" + domain
+	if t.Resolve != nil {
+		base = t.Resolve(domain)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/inbox", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Host = domain
+	req.Header.Set("Content-Type", "application/activity+json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("federation: deliver to %s: %w", domain, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("federation: deliver to %s: status %d", domain, resp.StatusCode)
+	}
+	return nil
+}

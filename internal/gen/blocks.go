@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"repro/internal/dataset"
+)
+
+// genBlocks assigns defederation lists (§7): instances with strict content
+// policies block instances that explicitly allow spam or untagged
+// pornography. Blocking is asymmetric (the strict side blocks) and capped,
+// like real Mastodon blocklists.
+func genBlocks(cfg Config, insts []dataset.Instance) {
+	if cfg.BlockProb <= 0 || cfg.BlockMaxTargets <= 0 {
+		return
+	}
+	r := subSeed(cfg.Seed, 5)
+
+	allows := func(in *dataset.Instance, a dataset.Activity) bool {
+		for _, x := range in.Allowed {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	prohibits := func(in *dataset.Instance, a dataset.Activity) bool {
+		for _, x := range in.Prohibited {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+
+	var offenders []int32
+	for i := range insts {
+		if allows(&insts[i], dataset.ActSpam) || allows(&insts[i], dataset.ActPornNoNSFW) {
+			offenders = append(offenders, int32(i))
+		}
+	}
+	if len(offenders) == 0 {
+		return
+	}
+
+	for i := range insts {
+		in := &insts[i]
+		strict := prohibits(in, dataset.ActSpam) || prohibits(in, dataset.ActPornNoNSFW)
+		if !strict {
+			continue
+		}
+		// Sample a bounded random subset of offenders.
+		perm := r.Perm(len(offenders))
+		for _, oi := range perm {
+			if len(in.Blocks) >= cfg.BlockMaxTargets {
+				break
+			}
+			target := offenders[oi]
+			if target == int32(i) {
+				continue
+			}
+			if r.Float64() < cfg.BlockProb {
+				in.Blocks = append(in.Blocks, target)
+			}
+		}
+	}
+}

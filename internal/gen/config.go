@@ -1,0 +1,230 @@
+// Package gen builds synthetic fediverse worlds whose statistical shape
+// matches the paper's 2017-2018 Mastodon snapshot: the instance population
+// (§4.1-4.3), user and toot placement, the social follower graph and induced
+// federation graph (§3, §5.1), availability traces with AS-wide and
+// certificate-expiry failures (§4.4), and crawlability effects (§3).
+//
+// Everything is driven by an explicit Config and a seed; generation is
+// deterministic bit-for-bit for a given configuration.
+package gen
+
+// Config holds every knob of the generative model. Use a preset
+// (TinyConfig, SmallConfig, PaperConfig) and tweak fields as needed.
+type Config struct {
+	Seed uint64
+
+	// Population scale.
+	Instances int // number of instances (paper: 4,328)
+	Users     int // number of user accounts (paper: 853K in G(V,E))
+	Days      int // measurement days (paper: 473, Apr 11 2017 – Jul 27 2018)
+
+	// Instance-size model: users per instance follow a Zipf-Mandelbrot law
+	// users(rank) ∝ (rank + SizeOffset)^-SizeExponent.
+	SizeExponent float64
+	SizeOffset   float64
+
+	// Toot volume: per-user toot counts derive sublinearly from the user's
+	// fame — toots ≈ TootScale × fame^TootFameExponent × lognormal noise,
+	// capped at TootMax. Popular accounts toot more (Fig 14's 0.97
+	// generation↔replication correlation) but the toot tail stays far
+	// flatter than the fame tail, so toot mass is spread over
+	// mid-popularity authors (§5.2's replica-count skew). ZeroTootFrac of
+	// users never toot (§3: only 239K of 853K accounts tooted);
+	// ClosedTootBoost multiplies the rate on closed instances (§4.1:
+	// 186.65 vs 94.8 toots per capita).
+	TootScale        float64
+	TootFameExponent float64
+	TootNoiseSigma   float64
+	TootMax          int
+	ZeroTootFrac     float64
+	ClosedTootBoost  float64
+	BoostRatio       float64 // boosts per toot (user boost count ≈ ratio × toots)
+
+	// Registration model (§4.1): fraction of open instances overall and the
+	// bias that makes large instances likelier to be open.
+	OpenFrac     float64
+	OpenSizeBias float64
+
+	// Categorisation (§4.2).
+	CategorizedFrac float64 // instances that self-declare a category (697/4328)
+
+	// Activity policies (Fig 4).
+	AllowAllFrac float64 // instances allowing every activity (17.5%)
+
+	// Software split (§3).
+	PleromaFrac float64 // 3.1%
+
+	// Crawlability (§3): instances that block toot crawling, and users whose
+	// toots are private. Tuned so ≈62% of toots are collectable.
+	BlocksCrawlFrac float64
+	PrivateUserFrac float64
+
+	// Social graph (§5.1).
+	MeanFollows    float64 // mean out-degree (9.25M / 853K ≈ 10.8)
+	FollowExponent float64 // out-degree power-law exponent
+	FollowMax      int     // out-degree cap
+	NoFollowFrac   float64 // accounts that follow nobody (passive accounts)
+	// FameTail is the Pareto tail index of follow attractiveness. Below 1
+	// the fame mass concentrates in a tiny celebrity core — the source of
+	// Fig 12's fragility.
+	FameTail    float64
+	LocalBias   float64 // probability a follow targets the same instance
+	CountryBias float64 // probability a remote follow prefers same country
+	UniformFrac float64 // probability a follow targets a uniformly random user
+	// InstanceUniformFrac follows pick a uniformly random federating
+	// instance first, then a user on it — the long-tail peering that gives
+	// the federation graph its uniform degree mix (Fig 13a's linear decay).
+	InstanceUniformFrac float64
+	IsolatedFrac        float64 // small instances whose users only follow locally (never federate)
+
+	// Availability model (§4.4). The per-instance downtime mixture matches
+	// Fig 7: ExcellentFrac of instances at ≈0.5% downtime, GoodFrac under
+	// 5%, BadFrac above 50%, the rest in between. MeanOutageSlots controls
+	// outage granularity.
+	ExcellentFrac   float64
+	GoodFrac        float64
+	BadFrac         float64
+	ChurnFrac       float64 // instances that permanently vanish (21.3%)
+	MinOutageSlots  int
+	MeanOutageSlots float64 // exponential tail of outage durations
+	// HiatusFrac instances take one month-plus break and come back
+	// (Fig 10: 7% of instances have a ≥1-month continuous outage).
+	HiatusFrac     float64
+	HiatusMinDays  int
+	HiatusMeanDays float64
+
+	// AS failure injection (Table 1): outages during which every instance of
+	// a designated AS is down simultaneously.
+	ASOutages []ASOutagePlan
+
+	// Instance blocking (§7): strict instances (those prohibiting spam or
+	// untagged pornography) block policy offenders with probability
+	// BlockProb each, capped at BlockMaxTargets blocks per instance.
+	BlockProb       float64
+	BlockMaxTargets int
+
+	// Certificate model (Fig 9).
+	CertRenewDays    int     // Let's Encrypt policy: 90
+	CertFailProb     float64 // probability a renewal is missed
+	CertOutageDays   float64 // mean outage length (days) after a missed renewal
+	MassExpiryShare  float64 // share of LE instances in the synchronized batch
+	MassExpiryDay    int     // day the synchronized batch expires (-1 disables)
+	CertIssuedSpread int     // issuance day jitter for everyone else
+}
+
+// ASOutagePlan injects Count simultaneous outages across all instances of
+// the AS registry entry named Name, each lasting about MeanHours.
+type ASOutagePlan struct {
+	Name      string
+	Count     int
+	MeanHours float64
+}
+
+// defaultASOutages mirrors Table 1: six ASes suffer between 1 and 15
+// full-AS outages during the measurement period.
+func defaultASOutages() []ASOutagePlan {
+	return []ASOutagePlan{
+		{Name: "Sakura Internet", Count: 1, MeanHours: 8},
+		{Name: "Choopa", Count: 4, MeanHours: 4},
+		{Name: "Microsoft", Count: 7, MeanHours: 2},
+		{Name: "Free SAS", Count: 15, MeanHours: 3},
+		{Name: "KDDI", Count: 4, MeanHours: 3},
+		{Name: "Sakura-2", Count: 14, MeanHours: 2},
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		Seed:         1,
+		SizeExponent: 1.70,
+		SizeOffset:   3,
+
+		TootScale:        14,
+		TootFameExponent: 0.3,
+		TootNoiseSigma:   1.1,
+		TootMax:          50000,
+		ZeroTootFrac:     0.6,
+		ClosedTootBoost:  3.0,
+		BoostRatio:       0.35,
+
+		OpenFrac:     0.478,
+		OpenSizeBias: 0.8,
+
+		CategorizedFrac: 0.161,
+		AllowAllFrac:    0.175,
+		PleromaFrac:     0.031,
+
+		BlocksCrawlFrac: 0.10,
+		PrivateUserFrac: 0.20,
+
+		MeanFollows:         10.8,
+		FollowExponent:      1.9,
+		FollowMax:           10000,
+		NoFollowFrac:        0.08,
+		FameTail:            0.40,
+		LocalBias:           0.05,
+		CountryBias:         0.25,
+		UniformFrac:         0.02,
+		InstanceUniformFrac: 0.015,
+		IsolatedFrac:        0.08,
+
+		ExcellentFrac:   0.045,
+		GoodFrac:        0.47,
+		BadFrac:         0.095,
+		ChurnFrac:       0.213,
+		MinOutageSlots:  1,
+		MeanOutageSlots: 36, // 3 hours at 5-minute slots
+		HiatusFrac:      0.075,
+		HiatusMinDays:   30,
+		HiatusMeanDays:  15, // extra days beyond the minimum
+
+		BlockProb:       0.25,
+		BlockMaxTargets: 25,
+
+		ASOutages: defaultASOutages(),
+
+		CertRenewDays:    90,
+		CertFailProb:     0.055,
+		CertOutageDays:   1.2,
+		MassExpiryShare:  0.025,
+		MassExpiryDay:    -1, // set per preset below
+		CertIssuedSpread: 60,
+	}
+}
+
+// TinyConfig is sized for unit and integration tests: a world that builds in
+// well under a second.
+func TinyConfig(seed uint64) Config {
+	c := baseConfig()
+	c.Seed = seed
+	c.Instances = 200
+	c.Users = 4000
+	c.Days = 120
+	c.MassExpiryDay = 110
+	return c
+}
+
+// SmallConfig is the default experiment scale: large enough for every
+// paper shape to be visible, small enough for benchmarks.
+func SmallConfig(seed uint64) Config {
+	c := baseConfig()
+	c.Seed = seed
+	c.Instances = 1000
+	c.Users = 40000
+	c.Days = 240
+	c.MassExpiryDay = 230
+	return c
+}
+
+// PaperConfig reproduces the paper's full population: 4,328 instances and
+// 853K accounts over 473 days. Building it takes tens of seconds and a few
+// GB of memory; use cmd/fedigen.
+func PaperConfig(seed uint64) Config {
+	c := baseConfig()
+	c.Seed = seed
+	c.Instances = 4328
+	c.Users = 853000
+	c.Days = 473
+	c.MassExpiryDay = 468 // July 23, 2018: the 105-instance expiry batch
+	return c
+}

@@ -1,0 +1,32 @@
+package gen
+
+import (
+	"repro/internal/dataset"
+)
+
+// Generate builds a complete synthetic world from the configuration. The
+// stages run in a fixed order, each on an independent deterministic random
+// stream, so tweaking one stage's parameters does not perturb the others.
+func Generate(cfg Config) *dataset.World {
+	if cfg.Instances <= 0 || cfg.Users <= 0 || cfg.Days <= 0 {
+		panic("gen: Config needs positive Instances, Users and Days")
+	}
+	m := genInstances(cfg)
+	genBlocks(cfg, m.insts)
+	users, fame := genUsers(cfg, m)
+	social := genSocial(cfg, m.insts, users, fame)
+	federation := induceFederation(social, users, len(m.insts))
+	traces, certOut := genTraces(cfg, m.insts)
+
+	return &dataset.World{
+		Seed:           cfg.Seed,
+		Days:           cfg.Days,
+		Instances:      m.insts,
+		Users:          users,
+		ASes:           asRegistryToDataset(buildASRegistry(targetASCount(cfg.Instances), countryTable())),
+		Social:         social,
+		Federation:     federation,
+		Traces:         traces,
+		CertOutageDays: certOut,
+	}
+}

@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// This file holds the synthetic hosting registries replacing Maxmind (IP →
+// country/AS), CAIDA (AS rank/peers) and crt.sh (certificate authorities).
+// The joint placement distributions are calibrated to Fig 5, Table 1 and
+// Fig 9(a).
+
+// countrySpec drives instance→country assignment. InstanceShare targets the
+// fraction of instances hosted there (Fig 5 top); HubBoost multiplies the
+// probability that one of the *largest* instances lands there, which is what
+// skews users towards Japan (25.5% of instances but 41% of users).
+type countrySpec struct {
+	Name          string
+	InstanceShare float64
+	HubBoost      float64
+}
+
+func countryTable() []countrySpec {
+	return []countrySpec{
+		{"Japan", 0.255, 2.6},
+		{"United States", 0.214, 1.6},
+		{"France", 0.160, 0.55},
+		{"Germany", 0.105, 0.55},
+		{"Netherlands", 0.048, 0.6},
+		{"United Kingdom", 0.040, 0.6},
+		{"Canada", 0.035, 0.6},
+		{"South Korea", 0.030, 0.7},
+		{"Austria", 0.022, 0.5},
+		{"Finland", 0.020, 0.5},
+		{"Russia", 0.018, 0.5},
+		{"Brazil", 0.015, 0.5},
+		{"Australia", 0.013, 0.5},
+		{"Spain", 0.012, 0.5},
+		{"Italy", 0.013, 0.5},
+	}
+}
+
+// asSpec drives instance→AS assignment within a country. InstanceShare is
+// the target share of *all* instances; HubBoost biases large instances into
+// the cloud/CDN providers (Amazon hosts >30% of users off only 6% of
+// instances). Failures designates the AS for Table 1 outage injection.
+type asSpec struct {
+	ASN           int
+	Name          string
+	Country       string
+	InstanceShare float64
+	HubBoost      float64
+	Rank          int
+	Peers         int
+}
+
+// asTable mixes the providers named in the paper (Fig 5 bottom, Table 1,
+// §5.1) with synthetic long-tail hosters. Long-tail entries are generated in
+// buildASRegistry to reach ≈351 ASes (mean 10 instances per AS, §4.3).
+func asTable() []asSpec {
+	return []asSpec{
+		// The five giants of Fig 5 (bottom), with large-instance bias.
+		{16509, "Amazon", "United States", 0.060, 2.2, 21, 432},
+		{13335, "Cloudflare", "United States", 0.054, 2.5, 60, 350},
+		{9370, "Sakura Internet", "Japan", 0.065, 1.4, 2000, 10},
+		{16276, "OVH SAS", "France", 0.085, 0.7, 38, 180},
+		{14061, "DigitalOcean", "United States", 0.055, 1.2, 55, 120},
+		// The instance-heavy hosters of §5.1 (top-5 by instances = 42%).
+		{12876, "Scaleway", "France", 0.075, 0.5, 220, 90},
+		{24940, "Hetzner Online", "Germany", 0.070, 0.5, 110, 140},
+		{7506, "GMO Internet", "Japan", 0.062, 0.6, 900, 30},
+		// Table 1's failure-prone ASes.
+		{20473, "Choopa", "United States", 0.006, 0.8, 143, 150},
+		{8075, "Microsoft", "United States", 0.004, 1.0, 2100, 257},
+		{12322, "Free SAS", "France", 0.0035, 0.3, 3200, 63},
+		{2516, "KDDI", "Japan", 0.0035, 0.5, 70, 123},
+		{9371, "Sakura-2", "Japan", 0.003, 0.3, 2400, 3},
+		// Other named providers appearing in Table 2.
+		{15169, "Google", "United States", 0.010, 1.3, 15, 300},
+		{12877, "Online SAS", "France", 0.030, 0.8, 250, 85},
+	}
+}
+
+// plannedOutageASNs marks the ASes of Table 1 whose instances must exist
+// for the whole measurement period so full-AS outages are injectable and
+// detectable.
+var plannedOutageASNs = map[int]bool{
+	9370:  true, // Sakura Internet
+	20473: true, // Choopa
+	8075:  true, // Microsoft
+	12322: true, // Free SAS
+	2516:  true, // KDDI
+	9371:  true, // Sakura-2
+}
+
+// buildASRegistry expands asTable with synthetic long-tail ASes until
+// total ≈ targetASes, and returns both the registry and sampling weights.
+func buildASRegistry(targetASes int, countries []countrySpec) []asSpec {
+	specs := asTable()
+	var namedShare float64
+	for _, s := range specs {
+		namedShare += s.InstanceShare
+	}
+	rest := 1.0 - namedShare
+	n := targetASes - len(specs)
+	if n < 0 {
+		n = 0
+	}
+	// Long-tail ASes: spread the remaining share evenly, cycling countries
+	// proportionally to their instance share.
+	for i := 0; i < n; i++ {
+		c := countries[i%len(countries)]
+		specs = append(specs, asSpec{
+			ASN:           64512 + i, // private-use ASN space
+			Name:          fmt.Sprintf("Hosting-%03d", i),
+			Country:       c.Name,
+			InstanceShare: rest / float64(n),
+			HubBoost:      0.5,
+			Rank:          5000 + i,
+			Peers:         2 + i%20,
+		})
+	}
+	return specs
+}
+
+// caTable reproduces Fig 9(a): Let's Encrypt dominates with >85%.
+type caSpec struct {
+	Name  string
+	Share float64
+}
+
+func caTable() []caSpec {
+	return []caSpec{
+		{"Let's Encrypt", 0.855},
+		{"COMODO", 0.06},
+		{"Amazon", 0.035},
+		{"CloudFlare", 0.025},
+		{"DigiCert", 0.015},
+		{"Other", 0.01},
+	}
+}
+
+// asRegistryToDataset converts specs to the dataset.AS schema.
+func asRegistryToDataset(specs []asSpec) []dataset.AS {
+	out := make([]dataset.AS, len(specs))
+	for i, s := range specs {
+		out[i] = dataset.AS{
+			ASN:     s.ASN,
+			Name:    s.Name,
+			Country: s.Country,
+			Rank:    s.Rank,
+			Peers:   s.Peers,
+		}
+	}
+	return out
+}

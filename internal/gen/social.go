@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// genSocial grows the follower graph G(V,E). Each user u draws a power-law
+// out-degree (how many accounts u follows); follow targets are fame-weighted
+// samples from the global population (fame drawn in genUsers), with
+// homophily towards u's own instance and country. Because fame is an
+// infinite-mean Pareto, the follow mass concentrates in a tiny celebrity
+// core — reproducing both the degree skew of Fig 11 and the extreme
+// fragility of Fig 12 (removing the top 1% of accounts collapses the LCC).
+func genSocial(cfg Config, insts []dataset.Instance, users []dataset.User, fame []float64) *graph.Directed {
+	r := subSeed(cfg.Seed, 3)
+	n := len(users)
+	g := graph.NewDirected(n)
+	if n < 2 {
+		return g
+	}
+
+	// Out-degrees: power law scaled so the overall mean (including
+	// never-following accounts) hits MeanFollows.
+	law := newPowerLaw(cfg.FollowExponent, cfg.FollowMax)
+	scale := cfg.MeanFollows / law.mean() / (1 - cfg.NoFollowFrac)
+	degrees := make([]int, n)
+	for i := range degrees {
+		if r.Float64() < cfg.NoFollowFrac {
+			continue // passive account: follows nobody
+		}
+		k := int(float64(law.sample(r))*scale + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > cfg.FollowMax {
+			k = cfg.FollowMax
+		}
+		if k > n-1 {
+			k = n - 1
+		}
+		degrees[i] = k
+	}
+
+	// A share of small instances never federate (§5.1's isolated tail that
+	// keeps the federation-graph LCC at ~92% of instances): their users
+	// follow only locally and are invisible to remote pickers.
+	median := medianUsers(insts)
+	isolated := make([]bool, len(insts))
+	for i := range insts {
+		if insts[i].Users <= median && r.Float64() < cfg.IsolatedFrac*2 {
+			isolated[i] = true
+		}
+	}
+
+	// Fame-weighted samplers: global, per instance, per country. The global
+	// and country pools exclude isolated instances' users.
+	countryIdx := make(map[string]int)
+	for i := range insts {
+		if _, ok := countryIdx[insts[i].Country]; !ok {
+			countryIdx[insts[i].Country] = len(countryIdx)
+		}
+	}
+	userCountry := make([]int, n)
+	instUsers := make([][]int32, len(insts))
+	countryUsers := make([][]int32, len(countryIdx))
+	all := make([]int32, 0, n)
+	for i := range users {
+		inst := users[i].Instance
+		c := countryIdx[insts[inst].Country]
+		userCountry[i] = c
+		instUsers[inst] = append(instUsers[inst], int32(i))
+		if !isolated[inst] {
+			countryUsers[c] = append(countryUsers[c], int32(i))
+			all = append(all, int32(i))
+		}
+	}
+	global := newFameSampler(all, fame)
+	// Instance-uniform edges: the "uniform" share of follows picks a random
+	// federating instance first, then a random user on it. This spreads
+	// federation links across the instance long tail, producing the more
+	// uniform federation-graph degree distribution of §5.1 (its "remarkably
+	// robust linear decay" under removal).
+	var fedInsts []int32
+	for i := range insts {
+		if !isolated[i] && len(instUsers[i]) > 0 {
+			fedInsts = append(fedInsts, int32(i))
+		}
+	}
+	instS := make([]*fameSampler, len(insts))
+	for i, ids := range instUsers {
+		if len(ids) > 0 {
+			instS[i] = newFameSampler(ids, fame)
+		}
+	}
+	countryS := make([]*fameSampler, len(countryUsers))
+	for i, ids := range countryUsers {
+		if len(ids) > 0 {
+			countryS[i] = newFameSampler(ids, fame)
+		}
+	}
+
+	order := r.Perm(n)
+	pInstUniform := cfg.UniformFrac + cfg.InstanceUniformFrac
+	pLocal := pInstUniform + cfg.LocalBias
+	pCountry := pLocal + (1-pLocal)*cfg.CountryBias
+	for _, ui := range order {
+		u := int32(ui)
+		want := degrees[ui]
+		if want == 0 {
+			continue
+		}
+		inst := users[ui].Instance
+		if isolated[inst] && len(instUsers[inst]) < 2 {
+			continue // a lone user on an isolated instance has nobody to follow
+		}
+		c := userCountry[ui]
+		seen := make(map[int32]struct{}, want)
+		attempts := 0
+		for added := 0; added < want && attempts < want*20+50; attempts++ {
+			var v int32
+			x := r.Float64()
+			switch {
+			case isolated[inst]:
+				v = instS[inst].sample(r)
+			case x < cfg.UniformFrac:
+				v = all[r.IntN(len(all))]
+			case x < pInstUniform:
+				ri := fedInsts[r.IntN(len(fedInsts))]
+				pool := instUsers[ri]
+				v = pool[r.IntN(len(pool))]
+			case x < pLocal:
+				v = instS[inst].sample(r)
+			case x < pCountry:
+				v = countryS[c].sample(r)
+			default:
+				v = global.sample(r)
+			}
+			if v == u {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			g.AddEdge(u, v)
+			added++
+		}
+	}
+	return g
+}
+
+// medianUsers returns the median instance size.
+func medianUsers(insts []dataset.Instance) int {
+	sizes := make([]int, len(insts))
+	for i := range insts {
+		sizes[i] = insts[i].Users
+	}
+	sort.Ints(sizes)
+	if len(sizes) == 0 {
+		return 0
+	}
+	return sizes[len(sizes)/2]
+}
+
+// fameSampler draws ids proportionally to their fame via binary search over
+// a cumulative-weight table.
+type fameSampler struct {
+	ids []int32
+	cum []float64
+}
+
+func newFameSampler(ids []int32, fame []float64) *fameSampler {
+	cum := make([]float64, len(ids))
+	total := 0.0
+	for i, id := range ids {
+		total += fame[id]
+		cum[i] = total
+	}
+	return &fameSampler{ids: ids, cum: cum}
+}
+
+func (s *fameSampler) sample(r *rand.Rand) int32 {
+	x := r.Float64() * s.cum[len(s.cum)-1]
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.ids) {
+		i = len(s.ids) - 1
+	}
+	return s.ids[i]
+}
+
+// induceFederation builds GF(I,E) from the social graph exactly as §3
+// defines it: a directed edge Ia→Ib exists iff at least one user on Ia
+// follows a user on Ib.
+func induceFederation(social *graph.Directed, users []dataset.User, numInstances int) *graph.Directed {
+	group := make([]int32, len(users))
+	for i := range users {
+		group[i] = users[i].Instance
+	}
+	return social.Induce(group, numInstances)
+}

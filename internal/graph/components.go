@@ -1,0 +1,243 @@
+package graph
+
+// This file implements connected-component analysis: weakly connected
+// components via union-find (the "Largest Connected Component" metric used
+// throughout §5) and strongly connected components via an iterative Tarjan
+// (the "#Strongly Connected Components" axis of Fig 12).
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int32) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// WCCResult summarises the weakly-connected-component structure of a graph
+// restricted to its alive nodes.
+type WCCResult struct {
+	NumComponents int   // number of weakly connected components
+	LargestSize   int   // node count of the largest component
+	AliveNodes    int   // nodes considered
+	LargestRoot   int32 // union-find root of the largest component (internal)
+	roots         []int32
+}
+
+// LCCFraction returns LargestSize / AliveNodes, or 0 when no nodes are alive.
+func (r WCCResult) LCCFraction() float64 {
+	if r.AliveNodes == 0 {
+		return 0
+	}
+	return float64(r.LargestSize) / float64(r.AliveNodes)
+}
+
+// InLargest reports whether node v belongs to the largest component.
+// It returns false for dead or out-of-range nodes.
+func (r WCCResult) InLargest(v int32) bool {
+	if int(v) >= len(r.roots) || r.roots[v] < 0 {
+		return false
+	}
+	return r.roots[v] == r.LargestRoot
+}
+
+// WeaklyConnected computes the weakly-connected components of g restricted
+// to nodes where alive[v] is true (alive == nil means all nodes). Edges with
+// a dead endpoint are ignored, matching the paper's node-removal semantics.
+func WeaklyConnected(g *Directed, alive []bool) WCCResult {
+	n := g.NumNodes()
+	uf := newUnionFind(n)
+	isAlive := func(v int32) bool { return alive == nil || alive[v] }
+	aliveCount := 0
+	for v := 0; v < n; v++ {
+		if !isAlive(int32(v)) {
+			continue
+		}
+		aliveCount++
+		for _, w := range g.out[v] {
+			if isAlive(w) {
+				uf.union(int32(v), w)
+			}
+		}
+	}
+	res := WCCResult{AliveNodes: aliveCount, roots: make([]int32, n), LargestRoot: -1}
+	counts := make(map[int32]int, 64)
+	for v := 0; v < n; v++ {
+		if !isAlive(int32(v)) {
+			res.roots[v] = -1
+			continue
+		}
+		r := uf.find(int32(v))
+		res.roots[v] = r
+		counts[r]++
+	}
+	res.NumComponents = len(counts)
+	for r, c := range counts {
+		if c > res.LargestSize || (c == res.LargestSize && (res.LargestRoot < 0 || r < res.LargestRoot)) {
+			res.LargestSize = c
+			res.LargestRoot = r
+		}
+	}
+	return res
+}
+
+// WeaklyConnectedBFS is a breadth-first alternative to WeaklyConnected kept
+// for the WCC ablation benchmark (DESIGN.md). It returns identical results.
+func WeaklyConnectedBFS(g *Directed, alive []bool) WCCResult {
+	n := g.NumNodes()
+	isAlive := func(v int32) bool { return alive == nil || alive[v] }
+	roots := make([]int32, n)
+	for i := range roots {
+		roots[i] = -1
+	}
+	res := WCCResult{roots: roots, LargestRoot: -1}
+	queue := make([]int32, 0, 1024)
+	for s := 0; s < n; s++ {
+		sv := int32(s)
+		if !isAlive(sv) || roots[s] >= 0 {
+			continue
+		}
+		res.NumComponents++
+		size := 0
+		roots[s] = sv
+		queue = append(queue[:0], sv)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, w := range g.out[v] {
+				if isAlive(w) && roots[w] < 0 {
+					roots[w] = sv
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.in[v] {
+				if isAlive(w) && roots[w] < 0 {
+					roots[w] = sv
+					queue = append(queue, w)
+				}
+			}
+		}
+		res.AliveNodes += size
+		if size > res.LargestSize {
+			res.LargestSize = size
+			res.LargestRoot = sv
+		}
+	}
+	return res
+}
+
+// StronglyConnectedCount returns the number of strongly connected components
+// of g restricted to alive nodes, using an iterative Tarjan algorithm (safe
+// for graphs far deeper than the goroutine stack would allow recursively).
+func StronglyConnectedCount(g *Directed, alive []bool) int {
+	n := g.NumNodes()
+	isAlive := func(v int32) bool { return alive == nil || alive[v] }
+
+	const unvisited = -1
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int32
+	var counter int32
+	sccs := 0
+
+	type frame struct {
+		v  int32
+		ei int // next out-edge index to consider
+	}
+	var call []frame
+
+	for s := 0; s < n; s++ {
+		if !isAlive(int32(s)) || index[s] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: int32(s)})
+		index[s] = counter
+		lowlink[s] = counter
+		counter++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.out[v]) {
+				w := g.out[v][f.ei]
+				f.ei++
+				if !isAlive(w) {
+					continue
+				}
+				if index[w] == unvisited {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if lowlink[v] == index[v] {
+				sccs++
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					if w == v {
+						break
+					}
+				}
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary encoding of a Directed graph: node count, edge count, then the
+// out-adjacency as (degree, targets...) varints per node. Compact enough to
+// persist paper-scale graphs (9.25M edges ≈ 30 MB).
+
+const graphMagic = uint32(0x47464447) // "GDFG"
+
+// Encode writes the graph to w.
+func (g *Directed) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := put(uint64(graphMagic)); err != nil {
+		return err
+	}
+	if err := put(uint64(g.NumNodes())); err != nil {
+		return err
+	}
+	if err := put(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := range g.out {
+		if err := put(uint64(len(g.out[v]))); err != nil {
+			return err
+		}
+		for _, t := range g.out[v] {
+			if err := put(uint64(t)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeGraph reads a graph written by Encode.
+func DecodeGraph(r io.Reader) (*Directed, error) {
+	br := bufio.NewReader(r)
+	magic, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if uint32(magic) != graphMagic {
+		return nil, errors.New("graph: bad magic")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 31
+	if n > maxNodes {
+		return nil, fmt.Errorf("graph: implausible node count %d", n)
+	}
+	edges, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	g := NewDirected(int(n))
+	for v := 0; v < int(n); v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %d: %w", v, err)
+		}
+		for k := 0; k < int(deg); k++ {
+			t, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: node %d edge %d: %w", v, k, err)
+			}
+			if t >= n {
+				return nil, fmt.Errorf("graph: edge target %d out of range", t)
+			}
+			g.AddEdge(int32(v), int32(t))
+		}
+	}
+	if uint64(g.NumEdges()) != edges {
+		return nil, fmt.Errorf("graph: edge count mismatch: header %d, body %d", edges, g.NumEdges())
+	}
+	return g, nil
+}

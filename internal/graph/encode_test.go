@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphEncodeRoundTrip(t *testing.T) {
+	g := NewDirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 4)
+	g.AddEdge(3, 2)
+	g.AddEdge(4, 0)
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 5 || back.NumEdges() != 4 {
+		t.Fatalf("decoded %d nodes %d edges", back.NumNodes(), back.NumEdges())
+	}
+	for _, e := range [][2]int32{{0, 1}, {0, 4}, {3, 2}, {4, 0}} {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestGraphEncodeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDirected(0).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeGraph(&buf)
+	if err != nil || back.NumNodes() != 0 {
+		t.Fatalf("err=%v nodes=%d", err, back.NumNodes())
+	}
+}
+
+func TestDecodeGraphErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		{0x01},             // bad magic
+		{0xff, 0xff, 0xff}, // truncated varint
+	} {
+		if _, err := DecodeGraph(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("expected error for %v", bad)
+		}
+	}
+	// Valid header, truncated body.
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	var buf bytes.Buffer
+	g.Encode(&buf)
+	full := buf.Bytes()
+	if _, err := DecodeGraph(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+// Property: encode/decode preserves adjacency exactly.
+func TestGraphEncodeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(n, m, seed)
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			return false
+		}
+		back, err := DecodeGraph(&buf)
+		if err != nil || back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Out(int32(v)), back.Out(int32(v))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package graph implements the directed-graph substrate of the reproduction:
+// the user follower graph G(V,E) and the instance federation graph GF(I,E)
+// from Section 3 of the paper, together with the analyses run on them —
+// degree distributions (Fig 11), connected-component structure, and the
+// targeted node-removal sweeps of Figs 12 and 13.
+//
+// Nodes are dense integer ids 0..N-1. Graphs are append-only; removal
+// experiments operate on an "alive" mask so a single graph can be swept
+// many times without rebuilding.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directed is a directed graph over nodes 0..N-1 with adjacency lists.
+type Directed struct {
+	out   [][]int32
+	in    [][]int32
+	edges int
+}
+
+// NewDirected returns an empty directed graph with n nodes.
+func NewDirected(n int) *Directed {
+	return &Directed{
+		out: make([][]int32, n),
+		in:  make([][]int32, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Directed) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of edges added.
+func (g *Directed) NumEdges() int { return g.edges }
+
+// AddEdge adds the directed edge from → to. It does not deduplicate;
+// callers that need simple graphs should use AddEdgeUnique or deduplicate
+// upstream. It panics if either endpoint is out of range.
+func (g *Directed) AddEdge(from, to int32) {
+	if int(from) >= len(g.out) || int(to) >= len(g.out) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, len(g.out)))
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	g.edges++
+}
+
+// HasEdge reports whether the edge from → to exists (linear scan).
+func (g *Directed) HasEdge(from, to int32) bool {
+	if int(from) >= len(g.out) || from < 0 {
+		return false
+	}
+	for _, v := range g.out[from] {
+		if v == to {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdgeUnique adds from → to only if it is not already present and
+// reports whether it was added.
+func (g *Directed) AddEdgeUnique(from, to int32) bool {
+	if g.HasEdge(from, to) {
+		return false
+	}
+	g.AddEdge(from, to)
+	return true
+}
+
+// Out returns the out-neighbours of v. The returned slice must not be
+// modified.
+func (g *Directed) Out(v int32) []int32 { return g.out[v] }
+
+// In returns the in-neighbours of v. The returned slice must not be
+// modified.
+func (g *Directed) In(v int32) []int32 { return g.in[v] }
+
+// OutDegree returns the out-degree of v.
+func (g *Directed) OutDegree(v int32) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Directed) InDegree(v int32) int { return len(g.in[v]) }
+
+// Degree returns the total degree (in + out) of v.
+func (g *Directed) Degree(v int32) int { return len(g.out[v]) + len(g.in[v]) }
+
+// OutDegrees returns every node's out-degree as float64s, the form consumed
+// by the CDF plots of Fig 11.
+func (g *Directed) OutDegrees() []float64 {
+	ds := make([]float64, len(g.out))
+	for i := range g.out {
+		ds[i] = float64(len(g.out[i]))
+	}
+	return ds
+}
+
+// InDegrees returns every node's in-degree as float64s.
+func (g *Directed) InDegrees() []float64 {
+	ds := make([]float64, len(g.in))
+	for i := range g.in {
+		ds[i] = float64(len(g.in[i]))
+	}
+	return ds
+}
+
+// Induce builds the quotient graph obtained by mapping every node v of g to
+// group[v] (e.g. user → hosting instance, producing the federation graph
+// GF(I,E) of §3). An edge a→b exists in the result iff some edge u→v of g
+// has group[u]=a, group[v]=b and a≠b. Edges are deduplicated. numGroups is
+// the node count of the result.
+func (g *Directed) Induce(group []int32, numGroups int) *Directed {
+	if len(group) != len(g.out) {
+		panic("graph: Induce group length mismatch")
+	}
+	q := NewDirected(numGroups)
+	seen := make(map[int64]struct{}, g.edges/4+1)
+	for u := range g.out {
+		gu := group[u]
+		for _, v := range g.out[u] {
+			gv := group[v]
+			if gu == gv {
+				continue
+			}
+			key := int64(gu)<<32 | int64(uint32(gv))
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			q.AddEdge(gu, gv)
+		}
+	}
+	return q
+}
+
+// TopByDegree returns the n alive nodes with the highest total degree,
+// in descending order. Ties break by lower id first for determinism.
+// If alive is nil all nodes are considered.
+func (g *Directed) TopByDegree(n int, alive []bool) []int32 {
+	type nd struct {
+		v int32
+		d int
+	}
+	nodes := make([]nd, 0, len(g.out))
+	for v := range g.out {
+		if alive != nil && !alive[v] {
+			continue
+		}
+		nodes = append(nodes, nd{int32(v), g.Degree(int32(v))})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].d != nodes[j].d {
+			return nodes[i].d > nodes[j].d
+		}
+		return nodes[i].v < nodes[j].v
+	})
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	top := make([]int32, n)
+	for i := 0; i < n; i++ {
+		top[i] = nodes[i].v
+	}
+	return top
+}

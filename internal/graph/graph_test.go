@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAndDegrees(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes/edges = %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("node 0 degrees: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.OutDegree(2) != 0 || g.InDegree(2) != 2 {
+		t.Fatalf("node 2 degrees: out=%d in=%d", g.OutDegree(2), g.InDegree(2))
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := NewDirected(2)
+	for _, e := range [][2]int32{{0, 2}, {2, 0}, {-1, 0}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for edge %v", e)
+				}
+			}()
+			g.AddEdge(e[0], e[1])
+		}()
+	}
+}
+
+func TestHasEdgeAndUnique(t *testing.T) {
+	g := NewDirected(3)
+	if !g.AddEdgeUnique(0, 1) {
+		t.Fatal("first add should succeed")
+	}
+	if g.AddEdgeUnique(0, 1) {
+		t.Fatal("duplicate add should be rejected")
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge is wrong")
+	}
+	if g.HasEdge(5, 0) || g.HasEdge(-1, 0) {
+		t.Fatal("out-of-range HasEdge should be false")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestOutInDegrees(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	if out[0] != 2 || out[1] != 0 || in[1] != 1 || in[0] != 0 {
+		t.Fatalf("degrees out=%v in=%v", out, in)
+	}
+}
+
+func TestInduce(t *testing.T) {
+	// Users 0,1 on instance 0; users 2,3 on instance 1; user 4 on instance 2.
+	g := NewDirected(5)
+	g.AddEdge(0, 1) // intra-instance: must vanish
+	g.AddEdge(0, 2) // inst 0 -> 1
+	g.AddEdge(1, 3) // inst 0 -> 1 (duplicate after induction)
+	g.AddEdge(3, 4) // inst 1 -> 2
+	g.AddEdge(4, 0) // inst 2 -> 0
+	group := []int32{0, 0, 1, 1, 2}
+	q := g.Induce(group, 3)
+	if q.NumNodes() != 3 {
+		t.Fatalf("induced nodes = %d", q.NumNodes())
+	}
+	if q.NumEdges() != 3 {
+		t.Fatalf("induced edges = %d, want 3 (dedup + drop intra)", q.NumEdges())
+	}
+	if !q.HasEdge(0, 1) || !q.HasEdge(1, 2) || !q.HasEdge(2, 0) {
+		t.Fatal("induced edges are wrong")
+	}
+	if q.HasEdge(1, 0) {
+		t.Fatal("induction must preserve direction")
+	}
+}
+
+func TestInducePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDirected(2).Induce([]int32{0}, 1)
+}
+
+func TestTopByDegree(t *testing.T) {
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	top := g.TopByDegree(2, nil)
+	if top[0] != 0 {
+		t.Fatalf("top[0] = %d, want 0 (hub)", top[0])
+	}
+	if top[1] != 2 && top[1] != 1 {
+		t.Fatalf("top[1] = %d", top[1])
+	}
+	// With node 0 dead, 2 has degree 2.
+	alive := []bool{false, true, true, true}
+	top = g.TopByDegree(1, alive)
+	if top[0] == 0 {
+		t.Fatal("dead node ranked")
+	}
+	// Request more than available.
+	if got := g.TopByDegree(100, alive); len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+}
+
+func TestTopByDegreeTieBreak(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	top := g.TopByDegree(3, nil)
+	// Nodes 1 and 2 tie with degree 2; lower id first; node 0 last.
+	if top[0] != 1 || top[1] != 2 || top[2] != 0 {
+		t.Fatalf("order = %v", top)
+	}
+}
+
+// randomGraph builds a pseudo-random directed graph for property tests.
+func randomGraph(n, m int, seed uint64) *Directed {
+	r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	g := NewDirected(n)
+	for i := 0; i < m; i++ {
+		g.AddEdge(int32(r.IntN(n)), int32(r.IntN(n)))
+	}
+	return g
+}
+
+// Property: union-find WCC and BFS WCC agree on random graphs and masks.
+func TestWCCUnionFindMatchesBFS(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, maskSeed uint64) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 600)
+		g := randomGraph(n, m, seed)
+		var alive []bool
+		if maskSeed%3 != 0 { // sometimes nil mask
+			r := rand.New(rand.NewPCG(maskSeed, 1))
+			alive = make([]bool, n)
+			for i := range alive {
+				alive[i] = r.IntN(4) != 0
+			}
+		}
+		a := WeaklyConnected(g, alive)
+		b := WeaklyConnectedBFS(g, alive)
+		return a.NumComponents == b.NumComponents &&
+			a.LargestSize == b.LargestSize &&
+			a.AliveNodes == b.AliveNodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWCCKnownGraph(t *testing.T) {
+	// Two components: {0,1,2} (path) and {3,4} (edge); 5 isolated.
+	g := NewDirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	res := WeaklyConnected(g, nil)
+	if res.NumComponents != 3 {
+		t.Fatalf("components = %d, want 3", res.NumComponents)
+	}
+	if res.LargestSize != 3 {
+		t.Fatalf("largest = %d, want 3", res.LargestSize)
+	}
+	if res.LCCFraction() != 0.5 {
+		t.Fatalf("LCC fraction = %g, want 0.5", res.LCCFraction())
+	}
+	for _, v := range []int32{0, 1, 2} {
+		if !res.InLargest(v) {
+			t.Fatalf("node %d should be in LCC", v)
+		}
+	}
+	for _, v := range []int32{3, 4, 5} {
+		if res.InLargest(v) {
+			t.Fatalf("node %d should not be in LCC", v)
+		}
+	}
+}
+
+func TestWCCWithMask(t *testing.T) {
+	// Path 0-1-2-3; killing node 1 splits it.
+	g := NewDirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	alive := []bool{true, false, true, true}
+	res := WeaklyConnected(g, alive)
+	if res.AliveNodes != 3 || res.NumComponents != 2 || res.LargestSize != 2 {
+		t.Fatalf("unexpected %+v", res)
+	}
+	if res.InLargest(1) {
+		t.Fatal("dead node cannot be in LCC")
+	}
+}
+
+func TestWCCEmpty(t *testing.T) {
+	g := NewDirected(0)
+	res := WeaklyConnected(g, nil)
+	if res.NumComponents != 0 || res.LCCFraction() != 0 {
+		t.Fatalf("unexpected %+v", res)
+	}
+	if res.InLargest(0) {
+		t.Fatal("InLargest out of range should be false")
+	}
+}
+
+func TestSCCKnownGraphs(t *testing.T) {
+	// A 3-cycle is one SCC.
+	cyc := NewDirected(3)
+	cyc.AddEdge(0, 1)
+	cyc.AddEdge(1, 2)
+	cyc.AddEdge(2, 0)
+	if n := StronglyConnectedCount(cyc, nil); n != 1 {
+		t.Fatalf("cycle SCCs = %d, want 1", n)
+	}
+	// A DAG has one SCC per node.
+	dag := NewDirected(4)
+	dag.AddEdge(0, 1)
+	dag.AddEdge(1, 2)
+	dag.AddEdge(2, 3)
+	if n := StronglyConnectedCount(dag, nil); n != 4 {
+		t.Fatalf("DAG SCCs = %d, want 4", n)
+	}
+	// Two 2-cycles joined by a one-way bridge: 2 SCCs.
+	two := NewDirected(4)
+	two.AddEdge(0, 1)
+	two.AddEdge(1, 0)
+	two.AddEdge(2, 3)
+	two.AddEdge(3, 2)
+	two.AddEdge(1, 2)
+	if n := StronglyConnectedCount(two, nil); n != 2 {
+		t.Fatalf("SCCs = %d, want 2", n)
+	}
+}
+
+func TestSCCWithMask(t *testing.T) {
+	// Cycle 0->1->2->0 with node 2 dead becomes a 2-node path: 2 SCCs.
+	g := NewDirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	alive := []bool{true, true, false}
+	if n := StronglyConnectedCount(g, alive); n != 2 {
+		t.Fatalf("SCCs = %d, want 2", n)
+	}
+}
+
+// Property: #SCC is between #WCC and the number of alive nodes.
+func TestSCCBoundsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(n, m, seed)
+		wcc := WeaklyConnected(g, nil)
+		scc := StronglyConnectedCount(g, nil)
+		return scc >= wcc.NumComponents && scc <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SCC count on a deep path does not overflow any stack
+// (regression guard for the iterative Tarjan).
+func TestSCCDeepPath(t *testing.T) {
+	n := 200000
+	g := NewDirected(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(int32(i), int32(i+1))
+	}
+	if got := StronglyConnectedCount(g, nil); got != n {
+		t.Fatalf("SCCs = %d, want %d", got, n)
+	}
+}

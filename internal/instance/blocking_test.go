@@ -1,0 +1,57 @@
+package instance
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/federation"
+)
+
+func TestBlockDomainRejectsInbound(t *testing.T) {
+	ctx := context.Background()
+	a, b, _ := pair(t)
+	a.CreateAccount("alice", false, false, t0)
+	b.CreateAccount("bob", false, false, t0)
+	a.BlockDomain("b.test", true)
+	if !a.BlocksDomain("b.test") || a.BlocksDomain("c.test") {
+		t.Fatal("block state wrong")
+	}
+	// bob's follow of alice must be rejected by a's inbox.
+	err := b.FollowRemote(ctx, "bob", federation.Actor{User: "alice", Domain: "a.test"})
+	if err == nil {
+		t.Fatal("follow from blocked domain accepted")
+	}
+	if a.FollowerCount("alice") != 0 {
+		t.Fatal("blocked follow recorded")
+	}
+	// Unblock and retry.
+	a.BlockDomain("b.test", false)
+	if err := b.FollowRemote(ctx, "bob", federation.Actor{User: "alice", Domain: "a.test"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.FollowerCount("alice") != 1 {
+		t.Fatal("follow after unblock lost")
+	}
+}
+
+func TestBlockDomainStopsPush(t *testing.T) {
+	ctx := context.Background()
+	a, b, _ := pair(t)
+	a.CreateAccount("alice", false, false, t0)
+	b.CreateAccount("bob", false, false, t0)
+	if err := b.FollowRemote(ctx, "bob", federation.Actor{User: "alice", Domain: "a.test"}); err != nil {
+		t.Fatal(err)
+	}
+	// a defederates AFTER the subscription exists: pushes stop.
+	a.BlockDomain("b.test", true)
+	a.PostToot(ctx, "alice", "you cannot see this", nil, t0)
+	if got := b.PublicTimeline(TimelineFederated, 0, 10); len(got) != 0 {
+		t.Fatalf("toot delivered to blocked domain: %v", got)
+	}
+	// And resume after unblocking.
+	a.BlockDomain("b.test", false)
+	a.PostToot(ctx, "alice", "back again", nil, t0)
+	if got := b.PublicTimeline(TimelineFederated, 0, 10); len(got) != 1 {
+		t.Fatalf("toot not delivered after unblock: %v", got)
+	}
+}

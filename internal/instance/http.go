@@ -1,0 +1,239 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/federation"
+)
+
+// This file is the HTTP face of a Server: the instance metadata API that
+// mnm.social polled every five minutes, the paged public-timeline API the
+// toot crawler consumed, the HTML follower pages the graph crawler scraped,
+// the homepage used as the availability probe, and the federation inbox.
+
+// instanceInfo is the /api/v1/instance JSON document (§3's monitored
+// fields).
+type instanceInfo struct {
+	URI           string       `json:"uri"`
+	Title         string       `json:"title"`
+	Version       string       `json:"version"`
+	Registrations bool         `json:"registrations"`
+	Stats         instanceStat `json:"stats"`
+}
+
+type instanceStat struct {
+	UserCount     int   `json:"user_count"`
+	StatusCount   int64 `json:"status_count"`
+	DomainCount   int   `json:"domain_count"`
+	RemoteFollows int   `json:"remote_follows"`
+}
+
+// statusJSON is the wire form of a toot, a faithful subset of Mastodon's
+// Status entity.
+type statusJSON struct {
+	ID        string      `json:"id"`
+	CreatedAt string      `json:"created_at"`
+	Content   string      `json:"content"`
+	Account   accountJSON `json:"account"`
+	Reblog    *reblogJSON `json:"reblog,omitempty"`
+	Tags      []tagJSON   `json:"tags,omitempty"`
+}
+
+type accountJSON struct {
+	Username string `json:"username"`
+	Acct     string `json:"acct"`
+}
+
+type reblogJSON struct {
+	URI string `json:"uri"`
+}
+
+type tagJSON struct {
+	Name string `json:"name"`
+}
+
+// ServeHTTP implements http.Handler for one instance.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.Online() {
+		http.Error(w, "instance unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	switch {
+	case r.URL.Path == "/" || r.URL.Path == "/about":
+		s.serveHome(w, r)
+	case r.URL.Path == "/api/v1/instance":
+		s.serveInstanceAPI(w, r)
+	case r.URL.Path == "/api/v1/instance/peers":
+		s.servePeers(w, r)
+	case r.URL.Path == "/api/v1/timelines/public":
+		s.serveTimeline(w, r)
+	case r.URL.Path == "/inbox":
+		s.serveInbox(w, r)
+	case strings.HasPrefix(r.URL.Path, "/users/") && strings.HasSuffix(r.URL.Path, "/followers"):
+		s.serveFollowers(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveHome(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1>"+
+		"<p>%d users, %d toots</p></body></html>",
+		html.EscapeString(st.Domain), html.EscapeString(st.Domain), st.Users, st.Statuses)
+}
+
+func (s *Server) serveInstanceAPI(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	writeJSON(w, instanceInfo{
+		URI:           st.Domain,
+		Title:         st.Domain,
+		Version:       versionString(st),
+		Registrations: st.Open,
+		Stats: instanceStat{
+			UserCount:     st.Users,
+			StatusCount:   st.Statuses,
+			DomainCount:   st.Peers,
+			RemoteFollows: st.RemoteFollows,
+		},
+	})
+}
+
+func versionString(st Stats) string {
+	if st.Software == "pleroma" {
+		return st.Version + " (compatible; Pleroma)"
+	}
+	return st.Version
+}
+
+func (s *Server) servePeers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.subs.PeerDomains())
+}
+
+func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.BlocksCrawl {
+		http.Error(w, "timeline crawling is not allowed on this instance", http.StatusForbidden)
+		return
+	}
+	q := r.URL.Query()
+	kind := TimelineFederated
+	if q.Get("local") == "true" || q.Get("local") == "1" {
+		kind = TimelineLocal
+	}
+	var maxID int64
+	if v := q.Get("max_id"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || id < 0 {
+			http.Error(w, "bad max_id", http.StatusBadRequest)
+			return
+		}
+		maxID = id
+	}
+	limit := 20
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n > 40 {
+			n = 40 // Mastodon caps page size at 40
+		}
+		limit = n
+	}
+	toots := s.PublicTimeline(kind, maxID, limit)
+	out := make([]statusJSON, len(toots))
+	for i, t := range toots {
+		out[i] = statusJSON{
+			ID:        strconv.FormatInt(t.ID, 10),
+			CreatedAt: t.CreatedAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+			Content:   t.Content,
+			Account: accountJSON{
+				Username: t.Author.User,
+				Acct:     t.Author.String(),
+			},
+		}
+		if t.BoostOf != "" {
+			out[i].Reblog = &reblogJSON{URI: t.BoostOf}
+		}
+		for _, h := range t.Hashtags {
+			out[i].Tags = append(out[i].Tags, tagJSON{Name: h})
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) serveInbox(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "inbox accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	a, err := federation.DecodeActivity(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Receive(r.Context(), a); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// serveFollowers renders the paged HTML follower list
+// (https://<domain>/users/<name>/followers, §3 footnote 1).
+func (s *Server) serveFollowers(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/users/"), "/followers")
+	if name == "" || strings.Contains(name, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	page := 1
+	if v := r.URL.Query().Get("page"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			http.Error(w, "bad page", http.StatusBadRequest)
+			return
+		}
+		page = p
+	}
+	actors, hasNext, err := s.Followers(name, page, 40)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><body><h1>Followers of %s</h1><ul>\n", html.EscapeString(name))
+	for _, a := range actors {
+		fmt.Fprintf(w, `<li><a class="follower" href="https://%s/users/%s">%s</a></li>`+"\n",
+			html.EscapeString(a.Domain), html.EscapeString(a.User), html.EscapeString(a.String()))
+	}
+	fmt.Fprint(w, "</ul>\n")
+	if hasNext {
+		fmt.Fprintf(w, `<a rel="next" href="/users/%s/followers?page=%d">next</a>`+"\n",
+			html.EscapeString(name), page+1)
+	}
+	fmt.Fprint(w, "</body></html>")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing useful to do beyond logging-level
+		// behaviour, which this server intentionally does not have.
+		_ = err
+	}
+}

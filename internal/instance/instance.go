@@ -1,0 +1,501 @@
+// Package instance implements a miniature Mastodon/Pleroma server — the
+// object the paper measures. Each Server hosts accounts, toots and boosts,
+// maintains the three timelines of §2 (home, local, federated), federates
+// with remote instances through the subscription protocol of
+// internal/federation, and speaks the HTTP surface the paper's measurement
+// infrastructure consumed: the instance metadata API, the paged public
+// timeline API, and HTML follower pages.
+package instance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/federation"
+)
+
+// Config describes one instance.
+type Config struct {
+	Domain      string
+	Software    string // "mastodon" or "pleroma"
+	Version     string
+	Open        bool // open registrations
+	BlocksCrawl bool // refuse public-timeline crawling (403)
+
+	// MaxFederated bounds the federated timeline (oldest entries are
+	// dropped), like Mastodon's own timeline trimming. 0 means default.
+	MaxFederated int
+}
+
+const defaultMaxFederated = 65536
+
+// Account is a registered local user.
+type Account struct {
+	Name      string
+	CreatedAt time.Time
+	Private   bool // toots excluded from public timelines
+
+	followers []federation.Actor // in arrival order
+	following int
+	toots     int
+	boosts    int
+}
+
+// Toot is one status. Remote toots carry the remote author and a local
+// sequence number for federated-timeline pagination.
+type Toot struct {
+	ID        int64 // local sequence number (pagination key)
+	Author    federation.Actor
+	Content   string
+	Hashtags  []string
+	CreatedAt time.Time
+	Remote    bool   // arrived via federation
+	BoostOf   string // non-empty when this entry is a boost of a note id
+	NoteID    string // globally unique note id ("domain/seq")
+}
+
+// Server is one live instance. All methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	subs *federation.Subscriptions
+
+	mu        sync.RWMutex
+	online    bool
+	accounts  map[string]*Account
+	local     []*Toot // home-authored, ascending ID
+	federated []*Toot // home + remote, ascending ID
+	nextID    int64
+	statuses  int64 // total statuses ever authored locally (incl. private)
+	boosts    int64
+	logins    map[string]time.Time // last login per account
+	blocked   map[string]bool      // defederated domains (§7)
+
+	transport federation.Transport
+}
+
+// NewServer creates an online server with the given transport (may be nil
+// for an isolated instance).
+func NewServer(cfg Config, t federation.Transport) *Server {
+	if cfg.Version == "" {
+		cfg.Version = "2.4.0"
+	}
+	if cfg.Software == "" {
+		cfg.Software = "mastodon"
+	}
+	if cfg.MaxFederated <= 0 {
+		cfg.MaxFederated = defaultMaxFederated
+	}
+	return &Server{
+		cfg:       cfg,
+		subs:      federation.NewSubscriptions(),
+		online:    true,
+		accounts:  make(map[string]*Account),
+		logins:    make(map[string]time.Time),
+		blocked:   make(map[string]bool),
+		transport: t,
+	}
+}
+
+// BlockDomain defederates from a remote domain: inbound activities from it
+// are rejected and nothing is pushed to it. Unblocking passes false.
+func (s *Server) BlockDomain(domain string, blocked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blocked {
+		s.blocked[domain] = true
+	} else {
+		delete(s.blocked, domain)
+	}
+}
+
+// BlocksDomain reports whether domain is defederated.
+func (s *Server) BlocksDomain(domain string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.blocked[domain]
+}
+
+// Domain implements federation.Inbox.
+func (s *Server) Domain() string { return s.cfg.Domain }
+
+// Config returns a copy of the server's configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// SetOnline flips the instance's availability (outage simulation).
+func (s *Server) SetOnline(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.online = v
+}
+
+// Online reports whether the instance currently responds.
+func (s *Server) Online() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.online
+}
+
+// CreateAccount registers a local account. Registration on closed instances
+// is only refused for self sign-up (invited=false), mirroring invite-only
+// instances.
+func (s *Server) CreateAccount(name string, private, invited bool, at time.Time) (*Account, error) {
+	if !s.cfg.Open && !invited {
+		return nil, fmt.Errorf("instance %s: registrations are closed", s.cfg.Domain)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[name]; ok {
+		return nil, fmt.Errorf("instance %s: account %q exists", s.cfg.Domain, name)
+	}
+	a := &Account{Name: name, CreatedAt: at, Private: private}
+	s.accounts[name] = a
+	return a, nil
+}
+
+// Account returns the named local account, or nil.
+func (s *Server) Account(name string) *Account {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.accounts[name]
+}
+
+// AccountNames returns all local account names, sorted.
+func (s *Server) AccountNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.accounts))
+	for n := range s.accounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecordLogin marks a login (drives the activity-level statistics).
+func (s *Server) RecordLogin(name string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[name]; ok {
+		s.logins[name] = at
+	}
+}
+
+// ActiveSince returns the fraction of accounts that logged in at or after t.
+func (s *Server) ActiveSince(t time.Time) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.accounts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, at := range s.logins {
+		if !at.Before(t) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.accounts))
+}
+
+// PostToot publishes a toot by the named local account and pushes it to all
+// subscriber instances. It returns the created toot.
+func (s *Server) PostToot(ctx context.Context, author, content string, hashtags []string, at time.Time) (*Toot, error) {
+	s.mu.Lock()
+	acct, ok := s.accounts[author]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("instance %s: no account %q", s.cfg.Domain, author)
+	}
+	s.nextID++
+	s.statuses++
+	acct.toots++
+	t := &Toot{
+		ID:        s.nextID,
+		Author:    federation.Actor{User: author, Domain: s.cfg.Domain},
+		Content:   content,
+		Hashtags:  hashtags,
+		CreatedAt: at,
+		NoteID:    fmt.Sprintf("%s/%d", s.cfg.Domain, s.nextID),
+	}
+	s.local = append(s.local, t)
+	s.appendFederatedLocked(t)
+	private := acct.Private
+	s.mu.Unlock()
+
+	if !private {
+		s.push(ctx, author, &federation.Activity{
+			Type: federation.TypeCreate,
+			From: t.Author,
+			Note: &federation.Note{
+				ID:        t.NoteID,
+				Author:    t.Author,
+				Content:   content,
+				Hashtags:  hashtags,
+				CreatedAt: at,
+			},
+		})
+	}
+	return t, nil
+}
+
+// Boost makes the named local account boost a note (by id) from origAuthor,
+// delivering an Announce to the account's subscribers.
+func (s *Server) Boost(ctx context.Context, booster, noteID string, origAuthor federation.Actor, at time.Time) error {
+	s.mu.Lock()
+	acct, ok := s.accounts[booster]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("instance %s: no account %q", s.cfg.Domain, booster)
+	}
+	s.nextID++
+	s.boosts++
+	acct.boosts++
+	t := &Toot{
+		ID:        s.nextID,
+		Author:    federation.Actor{User: booster, Domain: s.cfg.Domain},
+		CreatedAt: at,
+		BoostOf:   noteID,
+		NoteID:    fmt.Sprintf("%s/%d", s.cfg.Domain, s.nextID),
+	}
+	s.appendFederatedLocked(t)
+	s.mu.Unlock()
+
+	s.push(ctx, booster, &federation.Activity{
+		Type: federation.TypeBoost,
+		From: t.Author,
+		Note: &federation.Note{ID: noteID, Author: origAuthor, CreatedAt: at},
+	})
+	return nil
+}
+
+// push delivers an activity to every subscriber domain of the local user,
+// skipping defederated domains.
+func (s *Server) push(ctx context.Context, localUser string, a *federation.Activity) {
+	if s.transport == nil {
+		return
+	}
+	for _, domain := range s.subs.SubscriberDomains(localUser) {
+		if s.BlocksDomain(domain) {
+			continue
+		}
+		// Delivery failures to unreachable peers are the federation's normal
+		// operating mode (instances die all the time); they are dropped.
+		_ = s.transport.Deliver(ctx, domain, a)
+	}
+}
+
+func (s *Server) appendFederatedLocked(t *Toot) {
+	s.federated = append(s.federated, t)
+	if over := len(s.federated) - s.cfg.MaxFederated; over > 0 {
+		s.federated = append([]*Toot(nil), s.federated[over:]...)
+	}
+}
+
+// FollowLocal makes follower follow target, both local accounts.
+func (s *Server) FollowLocal(follower, target string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.accounts[follower]
+	if !ok {
+		return fmt.Errorf("instance %s: no account %q", s.cfg.Domain, follower)
+	}
+	t, ok := s.accounts[target]
+	if !ok {
+		return fmt.Errorf("instance %s: no account %q", s.cfg.Domain, target)
+	}
+	f.following++
+	t.followers = append(t.followers, federation.Actor{User: follower, Domain: s.cfg.Domain})
+	return nil
+}
+
+// FollowRemote subscribes the local follower to a remote account: the local
+// instance performs the federation handshake on the user's behalf (§2).
+func (s *Server) FollowRemote(ctx context.Context, follower string, target federation.Actor) error {
+	s.mu.Lock()
+	f, ok := s.accounts[follower]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("instance %s: no account %q", s.cfg.Domain, follower)
+	}
+	f.following++
+	s.mu.Unlock()
+
+	s.subs.AddRemoteFollow(target)
+	if s.transport == nil {
+		return nil
+	}
+	return s.transport.Deliver(ctx, target.Domain, &federation.Activity{
+		Type:   federation.TypeFollow,
+		From:   federation.Actor{User: follower, Domain: s.cfg.Domain},
+		Target: target,
+	})
+}
+
+// Receive implements federation.Inbox.
+func (s *Server) Receive(ctx context.Context, a *federation.Activity) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if s.BlocksDomain(a.From.Domain) {
+		return fmt.Errorf("instance %s: domain %s is blocked", s.cfg.Domain, a.From.Domain)
+	}
+	switch a.Type {
+	case federation.TypeFollow:
+		s.mu.Lock()
+		t, ok := s.accounts[a.Target.User]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("instance %s: follow of unknown account %q", s.cfg.Domain, a.Target.User)
+		}
+		t.followers = append(t.followers, a.From)
+		s.mu.Unlock()
+		s.subs.AddSubscriber(a.Target.User, a.From.Domain)
+		return nil
+	case federation.TypeUndo:
+		s.subs.RemoveSubscriber(a.Target.User, a.From.Domain)
+		return nil
+	case federation.TypeCreate, federation.TypeBoost:
+		s.mu.Lock()
+		s.nextID++
+		t := &Toot{
+			ID:        s.nextID,
+			Author:    a.Note.Author,
+			Content:   a.Note.Content,
+			Hashtags:  a.Note.Hashtags,
+			CreatedAt: a.Note.CreatedAt,
+			Remote:    true,
+			NoteID:    a.Note.ID,
+		}
+		if a.Type == federation.TypeBoost {
+			t.BoostOf = a.Note.ID
+		}
+		s.appendFederatedLocked(t)
+		s.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("instance %s: unsupported activity %q", s.cfg.Domain, a.Type)
+}
+
+// Stats is the instance-API metadata snapshot (§3: name, version, toots,
+// users, federated subscriptions...).
+type Stats struct {
+	Domain        string
+	Software      string
+	Version       string
+	Users         int
+	Statuses      int64
+	Boosts        int64
+	Peers         int
+	RemoteFollows int
+	Open          bool
+}
+
+// Stats returns the current snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Domain:        s.cfg.Domain,
+		Software:      s.cfg.Software,
+		Version:       s.cfg.Version,
+		Users:         len(s.accounts),
+		Statuses:      s.statuses,
+		Boosts:        s.boosts,
+		Peers:         len(s.subs.PeerDomains()),
+		RemoteFollows: s.subs.RemoteFollowCount(),
+		Open:          s.cfg.Open,
+	}
+}
+
+// Timeline selects which public timeline to page through.
+type Timeline int
+
+// Timeline kinds for PublicTimeline.
+const (
+	TimelineLocal Timeline = iota
+	TimelineFederated
+)
+
+// PublicTimeline returns up to limit public toots with ID < maxID (0 means
+// newest), newest first — exactly the paging contract of Mastodon's
+// /api/v1/timelines/public. Private authors' toots are excluded.
+func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []*Toot {
+	if limit <= 0 {
+		limit = 20
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src := s.local
+	if kind == TimelineFederated {
+		src = s.federated
+	}
+	// src is ascending by ID; find the first index with ID >= maxID.
+	hi := len(src)
+	if maxID > 0 {
+		hi = sort.Search(len(src), func(i int) bool { return src[i].ID >= maxID })
+	}
+	out := make([]*Toot, 0, limit)
+	for i := hi - 1; i >= 0 && len(out) < limit; i-- {
+		t := src[i]
+		if !t.Remote {
+			if acct := s.accounts[t.Author.User]; acct != nil && acct.Private {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Followers pages through an account's follower list (page size pageSize,
+// 1-based pages), mirroring the HTML pages the paper scraped.
+func (s *Server) Followers(name string, page, pageSize int) (actors []federation.Actor, hasNext bool, err error) {
+	if pageSize <= 0 {
+		pageSize = 40
+	}
+	if page < 1 {
+		page = 1
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.accounts[name]
+	if !ok {
+		return nil, false, fmt.Errorf("instance %s: no account %q", s.cfg.Domain, name)
+	}
+	lo := (page - 1) * pageSize
+	if lo >= len(a.followers) {
+		return nil, false, nil
+	}
+	hi := lo + pageSize
+	if hi > len(a.followers) {
+		hi = len(a.followers)
+	}
+	return append([]federation.Actor(nil), a.followers[lo:hi]...), hi < len(a.followers), nil
+}
+
+// FollowerCount returns the number of followers of a local account.
+func (s *Server) FollowerCount(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if a := s.accounts[name]; a != nil {
+		return len(a.followers)
+	}
+	return 0
+}
+
+// FederatedShare reports how many toots on the federated timeline are
+// home-made vs remote (Fig 14's raw signal).
+func (s *Server) FederatedShare() (home, remote int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.federated {
+		if t.Remote {
+			remote++
+		} else {
+			home++
+		}
+	}
+	return home, remote
+}

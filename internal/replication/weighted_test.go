@@ -1,0 +1,71 @@
+package replication
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedRepName(t *testing.T) {
+	s := NewWeightedRep(2, []float64{1, 2, 3}, 8, 1, "capacity")
+	if s.Name() != "W-Rep(capacity,n=2)" {
+		t.Fatalf("name = %s", s.Name())
+	}
+	anon := NewWeightedRep(1, []float64{1}, 8, 1, "")
+	if anon.Name() != "W-Rep(weighted,n=1)" {
+		t.Fatalf("name = %s", anon.Name())
+	}
+}
+
+func TestNewWeightedRepValidation(t *testing.T) {
+	for _, ws := range [][]float64{{0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", ws)
+				}
+			}()
+			NewWeightedRep(1, ws, 8, 1, "x")
+		}()
+	}
+}
+
+func TestWeightedRepUniformMatchesRandRep(t *testing.T) {
+	exp := New(microWorld())
+	down := []bool{true, false, false}
+	exact := exp.Availability(RandRep{N: 1, Exact: true}, down)
+	// Equal weights ⇒ same distribution as uniform random replication.
+	uniform := NewWeightedRep(1, []float64{1, 1, 1}, 4000, 5, "uniform")
+	got := exp.Availability(uniform, down)
+	if math.Abs(got-exact) > 4 {
+		t.Fatalf("uniform-weighted %.2f too far from exact %.2f", got, exact)
+	}
+}
+
+func TestWeightedRepAvoidsHotInstances(t *testing.T) {
+	exp := New(microWorld())
+	// Instance 0 is down; user 0 lives there with 10 toots. A weighting
+	// that puts all mass on the down instance loses the toots whenever the
+	// single replica lands there; weighting the two live instances saves
+	// them always.
+	down := []bool{true, false, false}
+	hot := exp.Availability(NewWeightedRep(1, []float64{1000, 1, 1}, 500, 2, "hot"), down)
+	cold := exp.Availability(NewWeightedRep(1, []float64{0.0001, 1000, 1000}, 500, 2, "cold"), down)
+	if cold < 99.9 {
+		t.Fatalf("cold placement availability = %.2f, want ≈100", cold)
+	}
+	if hot >= cold {
+		t.Fatalf("hot placement %.2f should lose to cold %.2f", hot, cold)
+	}
+}
+
+func TestWeightedRepMaskMismatchPanics(t *testing.T) {
+	exp := New(microWorld())
+	s := NewWeightedRep(1, []float64{1, 1}, 8, 1, "short")
+	down := []bool{true, false, false}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on weight/mask length mismatch")
+		}
+	}()
+	exp.Availability(s, down)
+}

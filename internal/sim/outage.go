@@ -1,0 +1,39 @@
+package sim
+
+// GroupFailures returns the outages during which *every* instance in ids was
+// simultaneously down, within [fromSlot, toSlot). The paper declares an
+// AS-wide failure when all instances hosted in an AS (≥8 of them) fail
+// together; this is the detection primitive behind Table 1.
+func GroupFailures(ts *TraceSet, ids []int32, fromSlot, toSlot int) []Outage {
+	return ts.SimultaneousDown(ids).Outages(fromSlot, toSlot)
+}
+
+// OutageStartDay returns the day index on which an outage began.
+func OutageStartDay(o Outage, slotsPerDay int) int { return o.Start / slotsPerDay }
+
+// OutageDays returns the outage length in (fractional) days.
+func OutageDays(o Outage, slotsPerDay int) float64 {
+	return float64(o.Slots()) / float64(slotsPerDay)
+}
+
+// AttributeToCertExpiry partitions outages into those that begin on one of
+// the given certificate-expiry days (within graceSlots of the day boundary)
+// and the rest. It reproduces the Fig 9(b) attribution: an outage whose
+// start coincides with the instance's certificate expiring is counted as a
+// certificate failure.
+func AttributeToCertExpiry(outs []Outage, expiryDays []int, slotsPerDay, graceSlots int) (cert, other []Outage) {
+	expiry := make(map[int]bool, len(expiryDays))
+	for _, d := range expiryDays {
+		expiry[d] = true
+	}
+	for _, o := range outs {
+		day := OutageStartDay(o, slotsPerDay)
+		offset := o.Start - day*slotsPerDay
+		if expiry[day] && offset <= graceSlots {
+			cert = append(cert, o)
+		} else {
+			other = append(other, o)
+		}
+	}
+	return cert, other
+}

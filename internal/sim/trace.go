@@ -1,0 +1,182 @@
+// Package sim implements the availability machinery of §4.4: per-instance
+// probe traces at 5-minute resolution (the mnm.social record), downtime
+// statistics, continuous-outage extraction (Fig 10), per-day downtime
+// (Fig 8), AS-wide simultaneous-failure detection (Table 1) and
+// certificate-expiry outage attribution (Fig 9b).
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Trace is a fixed-length availability record for one instance: one bit per
+// probe slot, set when the instance was DOWN at that slot. The zero value is
+// unusable; build with NewTrace.
+type Trace struct {
+	n     int
+	words []uint64
+}
+
+// NewTrace returns an all-up trace with n slots.
+func NewTrace(n int) *Trace {
+	if n < 0 {
+		panic("sim: negative trace length")
+	}
+	return &Trace{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// N returns the number of slots.
+func (t *Trace) N() int { return t.n }
+
+// SetDown marks slot i as down.
+func (t *Trace) SetDown(i int) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("sim: slot %d out of range [0,%d)", i, t.n))
+	}
+	t.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// SetDownRange marks slots [from, to) as down. Bounds are clamped.
+func (t *Trace) SetDownRange(from, to int) {
+	if from < 0 {
+		from = 0
+	}
+	if to > t.n {
+		to = t.n
+	}
+	for i := from; i < to; i++ {
+		t.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+// IsDown reports whether slot i is down. Out-of-range slots report false.
+func (t *Trace) IsDown(i int) bool {
+	if i < 0 || i >= t.n {
+		return false
+	}
+	return t.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// CountDown returns the number of down slots in [from, to). Bounds clamp.
+func (t *Trace) CountDown(from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to > t.n {
+		to = t.n
+	}
+	if from >= to {
+		return 0
+	}
+	count := 0
+	// Handle partial first word, full middle words, partial last word.
+	for from < to && from&63 != 0 {
+		if t.IsDown(from) {
+			count++
+		}
+		from++
+	}
+	for from+64 <= to {
+		count += bits.OnesCount64(t.words[from>>6])
+		from += 64
+	}
+	for from < to {
+		if t.IsDown(from) {
+			count++
+		}
+		from++
+	}
+	return count
+}
+
+// DownFraction returns the fraction of down slots in [from, to), or 0 for an
+// empty window.
+func (t *Trace) DownFraction(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > t.n {
+		to = t.n
+	}
+	if from >= to {
+		return 0
+	}
+	return float64(t.CountDown(from, to)) / float64(to-from)
+}
+
+// Outage is a maximal run of consecutive down slots, [Start, End).
+type Outage struct {
+	Start, End int
+}
+
+// Slots returns the outage length in slots.
+func (o Outage) Slots() int { return o.End - o.Start }
+
+// Outages returns the maximal down-runs intersecting [from, to), clipped to
+// the window.
+func (t *Trace) Outages(from, to int) []Outage {
+	if from < 0 {
+		from = 0
+	}
+	if to > t.n {
+		to = t.n
+	}
+	var outs []Outage
+	i := from
+	for i < to {
+		if !t.IsDown(i) {
+			i++
+			continue
+		}
+		start := i
+		for i < to && t.IsDown(i) {
+			i++
+		}
+		outs = append(outs, Outage{Start: start, End: i})
+	}
+	return outs
+}
+
+// And returns a new trace that is down only where both t and o are down.
+// Both traces must have the same length.
+func (t *Trace) And(o *Trace) *Trace {
+	if t.n != o.n {
+		panic("sim: And on traces of different lengths")
+	}
+	r := NewTrace(t.n)
+	for i := range t.words {
+		r.words[i] = t.words[i] & o.words[i]
+	}
+	return r
+}
+
+// MarshalBinary encodes the trace (length + packed words).
+func (t *Trace) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8*len(t.words))
+	binary.LittleEndian.PutUint64(buf, uint64(t.n))
+	for i, w := range t.words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a trace produced by MarshalBinary.
+func (t *Trace) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("sim: trace too short")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	want := (n + 63) / 64
+	if len(data) != 8+8*want {
+		return fmt.Errorf("sim: trace length mismatch: n=%d bytes=%d", n, len(data))
+	}
+	t.n = n
+	t.words = make([]uint64, want)
+	for i := range t.words {
+		t.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return nil
+}
