@@ -28,9 +28,10 @@ type flows struct {
 	tootsOut []int64
 }
 
-// computeFlows walks the social graph once.
+// computeFlows walks the social graph (frozen CSR view) once.
 func computeFlows(w *dataset.World) *flows {
 	n := len(w.Instances)
+	social := w.SocialCSR()
 	f := &flows{
 		remoteFollowees: make([]int, n),
 		remoteFollowers: make([]int, n),
@@ -50,7 +51,7 @@ func computeFlows(w *dataset.World) *flows {
 	// for tootsOut. Reuse a map per user.
 	for u := 0; u < len(w.Users); u++ {
 		uInst := w.Users[u].Instance
-		for _, v := range w.Social.Out(int32(u)) {
+		for _, v := range social.Out(int32(u)) {
 			vInst := w.Users[v].Instance
 			if vInst == uInst {
 				continue
@@ -75,7 +76,7 @@ func computeFlows(w *dataset.World) *flows {
 		}
 		vInst := w.Users[v].Instance
 		clear(subs)
-		for _, follower := range w.Social.In(int32(v)) {
+		for _, follower := range social.In(int32(v)) {
 			fi := w.Users[follower].Instance
 			if fi != vInst {
 				subs[fi] = struct{}{}

@@ -47,11 +47,13 @@ func ExtBlocking(w *dataset.World) BlockingResult {
 		return blocks[int64(a)<<32|int64(b)] || blocks[int64(b)<<32|int64(a)]
 	}
 
-	// Federation graph with severed edges removed.
+	// Federation graph with severed edges removed, scanned off the frozen
+	// CSR view.
+	fed := w.FederationCSR()
 	fedAfter := graph.NewDirected(n)
 	cut := 0
 	for v := 0; v < n; v++ {
-		for _, u := range w.Federation.Out(int32(v)) {
+		for _, u := range fed.Out(int32(v)) {
 			if severed(int32(v), u) {
 				cut++
 				continue
@@ -59,27 +61,30 @@ func ExtBlocking(w *dataset.World) BlockingResult {
 			fedAfter.AddEdge(int32(v), u)
 		}
 	}
-	if e := w.Federation.NumEdges(); e > 0 {
+	if e := fed.NumEdges(); e > 0 {
 		r.FedLinksCutPct = pct(float64(cut) / float64(e))
 	}
 
 	// Social edges crossing a blocked pair.
+	social := w.SocialCSR()
 	cutSocial := 0
 	for u := 0; u < len(w.Users); u++ {
 		iu := w.Users[u].Instance
-		for _, v := range w.Social.Out(int32(u)) {
+		for _, v := range social.Out(int32(u)) {
 			iv := w.Users[v].Instance
 			if iu != iv && severed(iu, iv) {
 				cutSocial++
 			}
 		}
 	}
-	if e := w.Social.NumEdges(); e > 0 {
+	if e := social.NumEdges(); e > 0 {
 		r.SocialEdgesCutPct = pct(float64(cutSocial) / float64(e))
 	}
 
 	users := w.InstanceUserWeights()
-	before := graph.WeaklyConnected(w.Federation, nil)
+	before := fed.WeaklyConnected(nil)
+	// fedAfter is queried exactly once; the adjacency-list WCC returns the
+	// identical result without paying for a throwaway Freeze.
 	after := graph.WeaklyConnected(fedAfter, nil)
 	r.LCCBefore = float64(before.LargestSize) / float64(n)
 	r.LCCAfter = float64(after.LargestSize) / float64(n)

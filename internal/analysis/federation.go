@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -118,11 +119,12 @@ type DegreeCDFs struct {
 	Twitter    *stats.ECDF
 }
 
-// Fig11DegreeCDF computes Fig 11.
+// Fig11DegreeCDF computes Fig 11 from the frozen CSR views (offset
+// subtraction instead of per-node slice-header loads).
 func Fig11DegreeCDF(w *dataset.World, twitterGraph *graph.Directed) DegreeCDFs {
 	return DegreeCDFs{
-		Social:     stats.NewECDF(w.Social.OutDegrees()),
-		Federation: stats.NewECDF(w.Federation.OutDegrees()),
+		Social:     stats.NewECDF(w.SocialCSR().OutDegrees()),
+		Federation: stats.NewECDF(w.FederationCSR().OutDegrees()),
 		Twitter:    stats.NewECDF(twitterGraph.OutDegrees()),
 	}
 }
@@ -136,32 +138,53 @@ type RemovalSeries struct {
 // Fig12UserRemoval runs the §5.1 social-graph sensitivity experiment:
 // iteratively remove the top 1% of remaining accounts by degree from both
 // the Mastodon social graph and the Twitter baseline, tracking LCC size and
-// the number of strongly connected components.
+// the number of strongly connected components. Both sweeps run on CSR
+// Sweepers (buffers allocated once per sweep, DESIGN.md), concurrently —
+// each goroutine fills a fixed slot, so the output order is deterministic.
 func Fig12UserRemoval(w *dataset.World, twitterGraph *graph.Directed, rounds int) []RemovalSeries {
 	opt := graph.SweepOptions{WithSCC: true}
-	return []RemovalSeries{
-		{Label: "Mastodon", Points: graph.IterativeDegreeRemoval(w.Social, 0.01, rounds, opt)},
-		{Label: "Twitter", Points: graph.IterativeDegreeRemoval(twitterGraph, 0.01, rounds, opt)},
+	series := []RemovalSeries{
+		{Label: "Mastodon"},
+		{Label: "Twitter"},
 	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		series[0].Points = graph.IterativeDegreeRemovalCSR(w.SocialCSR(), 0.01, rounds, opt)
+	}()
+	go func() {
+		defer wg.Done()
+		series[1].Points = graph.IterativeDegreeRemovalCSR(twitterGraph.Freeze(), 0.01, rounds, opt)
+	}()
+	wg.Wait()
+	return series
 }
 
 // Fig13aInstanceRemoval removes the top-N instances from the federation
-// graph ranked by hosted users and by hosted toots (Fig 13a).
+// graph ranked by hosted users and by hosted toots (Fig 13a). Each ranking
+// is a parallel shard sweep over the frozen federation CSR; the two
+// rankings also run concurrently, writing fixed output slots.
 func Fig13aInstanceRemoval(w *dataset.World, topN int) []RemovalSeries {
 	users := w.InstanceUserWeights()
 	toots := w.InstanceTootWeights()
 	opt := graph.SweepOptions{Weights: users}
-	mk := func(label string, scores []float64) RemovalSeries {
-		order := graph.RankDescending(scores)
-		return RemovalSeries{
-			Label:  label,
-			Points: graph.RemoveBatches(w.Federation, graph.SingletonBatches(order, topN), opt),
-		}
+	fed := w.FederationCSR()
+	series := []RemovalSeries{
+		{Label: "by Users Hosted"},
+		{Label: "by Toots Posted"},
 	}
-	return []RemovalSeries{
-		mk("by Users Hosted", users),
-		mk("by Toots Posted", toots),
+	var wg sync.WaitGroup
+	for i, scores := range [][]float64{users, toots} {
+		wg.Add(1)
+		go func(i int, scores []float64) {
+			defer wg.Done()
+			order := graph.RankDescending(scores)
+			series[i].Points = graph.RemoveBatchesParallel(fed, graph.SingletonBatches(order, topN), opt, 0)
+		}(i, scores)
 	}
+	wg.Wait()
+	return series
 }
 
 // ASBatches groups instances per AS and returns batches ordered by the
@@ -198,7 +221,8 @@ func ASBatches(w *dataset.World, score func(ids []int32) float64, topN int) (bat
 }
 
 // Fig13bASRemoval removes the top-N ASes (all instances within) from the
-// federation graph, ranked by hosted instances and by hosted users.
+// federation graph, ranked by hosted instances and by hosted users, as
+// parallel shard sweeps over the federation CSR.
 func Fig13bASRemoval(w *dataset.World, topN int) []RemovalSeries {
 	users := w.InstanceUserWeights()
 	opt := graph.SweepOptions{Weights: users}
@@ -210,10 +234,21 @@ func Fig13bASRemoval(w *dataset.World, topN int) []RemovalSeries {
 		}
 		return s
 	}, topN)
-	return []RemovalSeries{
-		{Label: "by Instances Hosted", Points: graph.RemoveBatches(w.Federation, byInst, opt)},
-		{Label: "by Users Hosted", Points: graph.RemoveBatches(w.Federation, byUsers, opt)},
+	fed := w.FederationCSR()
+	series := []RemovalSeries{
+		{Label: "by Instances Hosted"},
+		{Label: "by Users Hosted"},
 	}
+	var wg sync.WaitGroup
+	for i, batches := range [][][]int32{byInst, byUsers} {
+		wg.Add(1)
+		go func(i int, batches [][]int32) {
+			defer wg.Done()
+			series[i].Points = graph.RemoveBatchesParallel(fed, batches, opt, 0)
+		}(i, batches)
+	}
+	wg.Wait()
+	return series
 }
 
 // HomeRemoteResult is Fig 14: the composition of each instance's federated

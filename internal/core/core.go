@@ -6,11 +6,14 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -159,13 +162,56 @@ func Find(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment against the world, writing a combined
-// report.
+// RunAll executes every experiment against the world on a bounded worker
+// pool (GOMAXPROCS workers) and writes a combined report. Experiments are
+// independent and the world is read-only during analysis, so they run
+// concurrently into private buffers; the report is then assembled strictly
+// in experiment order, so the output is byte-identical to a sequential run
+// (DESIGN.md). On failure the experiments preceding the failing one (plus
+// its own partial output) are written before the error is returned,
+// matching the sequential semantics.
 func RunAll(w *dataset.World, out io.Writer) error {
-	for _, e := range Experiments() {
-		fmt.Fprintf(out, "==== %s — %s\n", e.ID, e.Title)
-		if err := e.Run(w, out); err != nil {
-			return fmt.Errorf("core: %s: %w", e.ID, err)
+	return runExperiments(w, out, Experiments())
+}
+
+// runExperiments is RunAll over an explicit experiment list (separated out
+// so tests can drive failure and ordering behaviour).
+func runExperiments(w *dataset.World, out io.Writer, exps []Experiment) error {
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, len(exps))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i].err = exps[i].Run(w, &results[i].buf)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := range exps {
+		fmt.Fprintf(out, "==== %s — %s\n", exps[i].ID, exps[i].Title)
+		if _, err := out.Write(results[i].buf.Bytes()); err != nil {
+			return err
+		}
+		if results[i].err != nil {
+			return fmt.Errorf("core: %s: %w", exps[i].ID, results[i].err)
 		}
 		fmt.Fprintln(out)
 	}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestRunAllDeterministic pins the parallel runner's ordering guarantee
+// (DESIGN.md): repeated runs over the same world produce byte-identical
+// reports, with experiments in index order, regardless of which worker
+// finishes first.
+func TestRunAllDeterministic(t *testing.T) {
+	w := world(t)
+	var first bytes.Buffer
+	if err := RunAll(w, &first); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		var again bytes.Buffer
+		if err := RunAll(w, &again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("run %d diverged from the first run", run+2)
+		}
+	}
+	// Headers must appear in Experiments() order.
+	out := first.String()
+	pos := -1
+	for _, e := range Experiments() {
+		p := strings.Index(out, "==== "+e.ID+" ")
+		if p < 0 {
+			t.Fatalf("missing %s", e.ID)
+		}
+		if p < pos {
+			t.Fatalf("experiment %s out of order", e.ID)
+		}
+		pos = p
+	}
+}
+
+// TestRunExperimentsErrorSemantics checks the sequential error contract on
+// the parallel pool: output up to and including the failing experiment's
+// partial content is written, the error is wrapped with the experiment id,
+// and later experiments do not appear.
+func TestRunExperimentsErrorSemantics(t *testing.T) {
+	w := world(t)
+	sentinel := errors.New("boom")
+	exps := []Experiment{
+		{ID: "ok1", Title: "first", Run: func(w *dataset.World, out io.Writer) error {
+			fmt.Fprintln(out, "first output")
+			return nil
+		}},
+		{ID: "bad", Title: "failing", Run: func(w *dataset.World, out io.Writer) error {
+			fmt.Fprintln(out, "partial output")
+			return sentinel
+		}},
+		{ID: "ok2", Title: "never shown", Run: func(w *dataset.World, out io.Writer) error {
+			fmt.Fprintln(out, "should not be written")
+			return nil
+		}},
+	}
+	var buf bytes.Buffer
+	err := runExperiments(w, &buf, exps)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error %q does not name the experiment", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"==== ok1", "first output", "==== bad", "partial output"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ok2") || strings.Contains(out, "should not be written") {
+		t.Fatalf("output leaked past the failure:\n%s", out)
+	}
+}

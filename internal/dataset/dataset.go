@@ -6,6 +6,7 @@
 package dataset
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -193,6 +194,29 @@ type World struct {
 	// caused by certificate expiry (ground truth for validating Fig 9b's
 	// detector).
 	CertOutageDays map[int32][]int
+
+	// Lazily frozen CSR views of the two graphs (DESIGN.md). Built on first
+	// use and shared by every analysis; safe under the concurrent experiment
+	// runner.
+	socialOnce sync.Once
+	socialCSR  *graph.CSR
+	fedOnce    sync.Once
+	fedCSR     *graph.CSR
+}
+
+// SocialCSR returns the frozen CSR view of the social graph, building it on
+// first call. The result is immutable and safe for concurrent use; it must
+// not be requested before Social is fully built.
+func (w *World) SocialCSR() *graph.CSR {
+	w.socialOnce.Do(func() { w.socialCSR = w.Social.Freeze() })
+	return w.socialCSR
+}
+
+// FederationCSR returns the frozen CSR view of the federation graph,
+// building it on first call.
+func (w *World) FederationCSR() *graph.CSR {
+	w.fedOnce.Do(func() { w.fedCSR = w.Federation.Freeze() })
+	return w.fedCSR
 }
 
 // NumSlots returns the total number of 5-minute probe slots in the

@@ -194,7 +194,9 @@ func (s *fameSampler) sample(r *rand.Rand) int32 {
 
 // induceFederation builds GF(I,E) from the social graph exactly as §3
 // defines it: a directed edge Ia→Ib exists iff at least one user on Ia
-// follows a user on Ib.
+// follows a user on Ib, deduplicated by the stamped group-bucket kernel
+// (DESIGN.md) straight off the adjacency lists — freezing a throwaway CSR
+// here would only add an edge copy.
 func induceFederation(social *graph.Directed, users []dataset.User, numInstances int) *graph.Directed {
 	group := make([]int32, len(users))
 	for i := range users {

@@ -46,10 +46,14 @@ func (uf *unionFind) union(a, b int32) {
 // WCCResult summarises the weakly-connected-component structure of a graph
 // restricted to its alive nodes.
 type WCCResult struct {
-	NumComponents int   // number of weakly connected components
-	LargestSize   int   // node count of the largest component
-	AliveNodes    int   // nodes considered
-	LargestRoot   int32 // union-find root of the largest component (internal)
+	NumComponents int // number of weakly connected components
+	LargestSize   int // node count of the largest component
+	AliveNodes    int // nodes considered
+	// LargestRoot is the root label of the largest component (internal).
+	// Equal-sized components tie towards the one containing the smallest
+	// node id — the canonical, union-order-independent rule shared by all
+	// WCC engines (DESIGN.md).
+	LargestRoot int32
 	roots         []int32
 }
 
@@ -101,10 +105,20 @@ func WeaklyConnected(g *Directed, alive []bool) WCCResult {
 		counts[r]++
 	}
 	res.NumComponents = len(counts)
-	for r, c := range counts {
-		if c > res.LargestSize || (c == res.LargestSize && (res.LargestRoot < 0 || r < res.LargestRoot)) {
+	for _, c := range counts {
+		if c > res.LargestSize {
 			res.LargestSize = c
+		}
+	}
+	// Canonical largest-component tie-break (DESIGN.md): among equal-sized
+	// components, the one containing the smallest node id wins. Unlike the
+	// union-find root id, this is independent of union order, so every WCC
+	// engine (adjacency, CSR, BFS, the reverse-incremental sweep) agrees
+	// byte-for-byte even on ties.
+	for v := 0; v < n; v++ {
+		if r := res.roots[v]; r >= 0 && counts[r] == res.LargestSize {
 			res.LargestRoot = r
+			break
 		}
 	}
 	return res
@@ -112,6 +126,9 @@ func WeaklyConnected(g *Directed, alive []bool) WCCResult {
 
 // WeaklyConnectedBFS is a breadth-first alternative to WeaklyConnected kept
 // for the WCC ablation benchmark (DESIGN.md). It returns identical results.
+// The frontier is a reusable queue consumed from the head by index (a
+// genuine FIFO — popping from the tail would make this depth-first and the
+// ablation dishonest).
 func WeaklyConnectedBFS(g *Directed, alive []bool) WCCResult {
 	n := g.NumNodes()
 	isAlive := func(v int32) bool { return alive == nil || alive[v] }
@@ -127,13 +144,10 @@ func WeaklyConnectedBFS(g *Directed, alive []bool) WCCResult {
 			continue
 		}
 		res.NumComponents++
-		size := 0
 		roots[s] = sv
 		queue = append(queue[:0], sv)
-		for len(queue) > 0 {
-			v := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			size++
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			for _, w := range g.out[v] {
 				if isAlive(w) && roots[w] < 0 {
 					roots[w] = sv
@@ -147,6 +161,7 @@ func WeaklyConnectedBFS(g *Directed, alive []bool) WCCResult {
 				}
 			}
 		}
+		size := len(queue)
 		res.AliveNodes += size
 		if size > res.LargestSize {
 			res.LargestSize = size

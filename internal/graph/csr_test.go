@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomMask returns an alive mask (sometimes nil) derived from seed,
+// matching the shape used by the seed property tests.
+func randomMask(n int, seed uint64) []bool {
+	if seed%3 == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewPCG(seed, 1))
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = r.IntN(4) != 0
+	}
+	return alive
+}
+
+func TestCSRFreezePreservesStructure(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%120) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(n, m, seed)
+		c := g.Freeze()
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			vv := int32(v)
+			if !reflect.DeepEqual(nonNil(c.Out(vv)), nonNil(g.Out(vv))) {
+				return false
+			}
+			if !reflect.DeepEqual(nonNil(c.In(vv)), nonNil(g.In(vv))) {
+				return false
+			}
+			if c.OutDegree(vv) != g.OutDegree(vv) || c.InDegree(vv) != g.InDegree(vv) || c.Degree(vv) != g.Degree(vv) {
+				return false
+			}
+			if len(c.Und(vv)) != g.Degree(vv) {
+				return false
+			}
+		}
+		return reflect.DeepEqual(c.OutDegrees(), g.OutDegrees()) &&
+			reflect.DeepEqual(c.InDegrees(), g.InDegrees())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nonNil(s []int32) []int32 {
+	if s == nil {
+		return []int32{}
+	}
+	return s
+}
+
+// wccEqual compares the full observable WCCResult state, including the
+// per-node root assignment used by InLargest.
+func wccEqual(a, b WCCResult) bool {
+	return a.NumComponents == b.NumComponents &&
+		a.LargestSize == b.LargestSize &&
+		a.AliveNodes == b.AliveNodes &&
+		a.LargestRoot == b.LargestRoot &&
+		reflect.DeepEqual(a.roots, b.roots)
+}
+
+func TestCSRWCCMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, maskSeed uint64) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 600)
+		g := randomGraph(n, m, seed)
+		alive := randomMask(n, maskSeed)
+		want := WeaklyConnected(g, alive)
+		got := g.Freeze().WeaklyConnected(alive)
+		return wccEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRWCCBFSMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, maskSeed uint64) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 600)
+		g := randomGraph(n, m, seed)
+		alive := randomMask(n, maskSeed)
+		want := WeaklyConnectedBFS(g, alive)
+		got := g.Freeze().WeaklyConnectedBFS(alive)
+		// BFS roots are component seed nodes in both variants, so the full
+		// state must agree.
+		return wccEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRSCCMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, maskSeed uint64) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(n, m, seed)
+		alive := randomMask(n, maskSeed)
+		return g.Freeze().StronglyConnectedCount(alive) == StronglyConnectedCount(g, alive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// edgeSet flattens a graph into a sorted (from,to) key list.
+func edgeSet(g *Directed) map[uint64]bool {
+	set := make(map[uint64]bool)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(int32(v)) {
+			set[uint64(uint32(v))<<32|uint64(uint32(w))] = true
+		}
+	}
+	return set
+}
+
+func TestInduceSortMatchesMap(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, groupsRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 500)
+		numGroups := int(groupsRaw%20) + 1
+		g := randomGraph(n, m, seed)
+		r := rand.New(rand.NewPCG(seed^0xabcdef, 7))
+		group := make([]int32, n)
+		for i := range group {
+			group[i] = int32(r.IntN(numGroups))
+		}
+		want := g.InduceMap(group, numGroups)
+		wantSet := edgeSet(want)
+		for _, got := range []*Directed{
+			g.Induce(group, numGroups),
+			g.InduceSort(group, numGroups),
+			g.Freeze().Induce(group, numGroups),
+		} {
+			if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+				return false
+			}
+			if !reflect.DeepEqual(edgeSet(got), wantSet) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRTopByDegreeMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, kRaw uint8, maskSeed uint64) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 500)
+		g := randomGraph(n, m, seed)
+		alive := randomMask(n, maskSeed)
+		c := g.Freeze()
+		for _, k := range []int{0, 1, int(kRaw) % (n + 2), n, n + 10} {
+			if !reflect.DeepEqual(c.TopByDegree(k, alive), g.TopByDegree(k, alive)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomBatches builds removal batches over n nodes, intentionally
+// including duplicate and repeated ids to exercise the dedup semantics.
+func randomBatches(n int, seed uint64) [][]int32 {
+	r := rand.New(rand.NewPCG(seed, 99))
+	batches := make([][]int32, r.IntN(8))
+	for i := range batches {
+		b := make([]int32, r.IntN(4)+1)
+		for j := range b {
+			b[j] = int32(r.IntN(n))
+		}
+		batches[i] = b
+	}
+	return batches
+}
+
+// randomWeights returns a node-weight vector (sometimes nil).
+func randomWeights(n int, seed uint64) []float64 {
+	if seed%2 == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewPCG(seed, 5))
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(r.IntN(50))
+	}
+	return w
+}
+
+func TestSweeperRemoveBatchesMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, batchSeed, wSeed uint64) bool {
+		n := int(nRaw%120) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(n, m, seed)
+		batches := randomBatches(n, batchSeed)
+		opt := SweepOptions{Weights: randomWeights(n, wSeed), WithSCC: wSeed%3 == 0}
+		want := RemoveBatches(g, batches, opt)
+		c := g.Freeze()
+		// RemoveBatchesCSR picks the reverse-incremental engine when SCCs
+		// are off; the explicit Sweeper path is the forward per-point
+		// engine. Both must match the adjacency-list forward sweep.
+		return reflect.DeepEqual(RemoveBatchesCSR(c, batches, opt), want) &&
+			reflect.DeepEqual(NewSweeper(c).RemoveBatches(batches, opt), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweeperIterativeMatchesAdjList(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, fRaw, roundsRaw uint8, wSeed uint64) bool {
+		n := int(nRaw%120) + 2
+		m := int(mRaw % 400)
+		g := randomGraph(n, m, seed)
+		fraction := float64(int(fRaw)%50+1) / 100 // 0.01 .. 0.50
+		rounds := int(roundsRaw % 6)
+		opt := SweepOptions{Weights: randomWeights(n, wSeed), WithSCC: wSeed%3 == 0}
+		want := IterativeDegreeRemoval(g, fraction, rounds, opt)
+		got := IterativeDegreeRemovalCSR(g.Freeze(), fraction, rounds, opt)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveBatchesParallelMatchesSequential(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16, batchSeed, wSeed uint64, workersRaw uint8) bool {
+		n := int(nRaw%120) + 1
+		m := int(mRaw % 400)
+		g := randomGraph(n, m, seed)
+		c := g.Freeze()
+		batches := randomBatches(n, batchSeed)
+		opt := SweepOptions{Weights: randomWeights(n, wSeed), WithSCC: wSeed%3 == 0}
+		want := RemoveBatchesCSR(c, batches, opt)
+		for _, workers := range []int{0, 1, 2, 3, int(workersRaw%16) + 1} {
+			if !reflect.DeepEqual(RemoveBatchesParallel(c, batches, opt, workers), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweeperResetAndReuse(t *testing.T) {
+	g := star(50)
+	c := g.Freeze()
+	s := NewSweeper(c)
+	first := s.IterativeDegreeRemoval(0.02, 3, SweepOptions{})
+	s.Reset()
+	second := s.IterativeDegreeRemoval(0.02, 3, SweepOptions{})
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("reused sweeper diverged:\n%v\n%v", first, second)
+	}
+	if s.Removed() == 0 {
+		t.Fatal("expected removals")
+	}
+	s.Reset()
+	if s.Removed() != 0 || !s.Alive()[0] {
+		t.Fatal("Reset did not revive the graph")
+	}
+}
+
+// TestSweeperRoundsDoNotAllocate pins the design claim of DESIGN.md: after
+// a Sweeper warms up, a remove+measure round performs zero heap
+// allocations.
+func TestSweeperRoundsDoNotAllocate(t *testing.T) {
+	g := randomGraph(2000, 12000, 42)
+	s := NewSweeper(g.Freeze())
+	w := randomWeights(2000, 1)
+	opt := SweepOptions{Weights: w, WithSCC: true}
+	s.Measure(opt) // warm the Tarjan stacks
+	var v int32
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Remove([]int32{v, v + 1})
+		v += 2
+		s.Measure(opt)
+	})
+	if allocs != 0 {
+		t.Fatalf("allocs/round = %g, want 0", allocs)
+	}
+}
+
+func TestCSREmptyGraph(t *testing.T) {
+	c := NewDirected(0).Freeze()
+	res := c.WeaklyConnected(nil)
+	if res.NumComponents != 0 || res.LargestSize != 0 || res.LCCFraction() != 0 {
+		t.Fatalf("unexpected %+v", res)
+	}
+	if got := c.StronglyConnectedCount(nil); got != 0 {
+		t.Fatalf("SCCs = %d", got)
+	}
+	if got := c.TopByDegree(5, nil); len(got) != 0 {
+		t.Fatalf("top = %v", got)
+	}
+}
+
+func TestCSRSCCDeepPath(t *testing.T) {
+	n := 200000
+	g := NewDirected(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(int32(i), int32(i+1))
+	}
+	if got := g.Freeze().StronglyConnectedCount(nil); got != n {
+		t.Fatalf("SCCs = %d, want %d", got, n)
+	}
+}

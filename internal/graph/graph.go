@@ -109,9 +109,39 @@ func (g *Directed) InDegrees() []float64 {
 // Induce builds the quotient graph obtained by mapping every node v of g to
 // group[v] (e.g. user → hosting instance, producing the federation graph
 // GF(I,E) of §3). An edge a→b exists in the result iff some edge u→v of g
-// has group[u]=a, group[v]=b and a≠b. Edges are deduplicated. numGroups is
-// the node count of the result.
+// has group[u]=a, group[v]=b and a≠b. Edges are deduplicated via the
+// stamped group-bucket kernel (DESIGN.md); see InduceSort and InduceMap for
+// the ablation alternatives. numGroups is the node count of the result.
 func (g *Directed) Induce(group []int32, numGroups int) *Directed {
+	if len(group) != len(g.out) {
+		panic("graph: Induce group length mismatch")
+	}
+	return induceStamped(len(g.out), func(u int32) []int32 { return g.out[u] }, group, numGroups)
+}
+
+// InduceSort is the sort-based Induce variant: cross-group edges are packed
+// into a flat edge buffer, counting-bucketed by source group, sorted per
+// row and deduplicated. Kept for the induce ablation benchmark (DESIGN.md).
+func (g *Directed) InduceSort(group []int32, numGroups int) *Directed {
+	if len(group) != len(g.out) {
+		panic("graph: Induce group length mismatch")
+	}
+	buf := make([]uint64, 0, g.edges)
+	for u := range g.out {
+		gu := group[u]
+		for _, v := range g.out[u] {
+			if gv := group[v]; gu != gv {
+				buf = append(buf, uint64(uint32(gu))<<32|uint64(uint32(gv)))
+			}
+		}
+	}
+	return buildInducedSorted(buf, numGroups)
+}
+
+// InduceMap is the original hash-map Induce, kept as the reference
+// implementation for the equivalence tests and the induce ablation
+// benchmark (DESIGN.md). New code should use Induce.
+func (g *Directed) InduceMap(group []int32, numGroups int) *Directed {
 	if len(group) != len(g.out) {
 		panic("graph: Induce group length mismatch")
 	}

@@ -7,6 +7,7 @@ package replication
 
 import (
 	"math/rand/v2"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -268,26 +269,32 @@ func New(w *dataset.World) *Experiment {
 		exp.toots[i] = float64(w.Users[i].Toots)
 		exp.totalToots += exp.toots[i]
 	}
+	// Follower instances per user off the frozen CSR view, deduplicated by
+	// sorting a reusable scratch slice instead of a per-user hash map.
+	social := w.SocialCSR()
+	var scratch []int32
 	for u := 0; u < n; u++ {
-		followers := w.Social.In(int32(u))
+		followers := social.In(int32(u))
 		if len(followers) == 0 {
 			continue
 		}
-		set := make(map[int32]struct{}, 4)
+		scratch = scratch[:0]
 		for _, f := range followers {
 			inst := w.Users[f].Instance
 			if inst != exp.home[u] {
-				set[inst] = struct{}{}
+				scratch = append(scratch, inst)
 			}
 		}
-		if len(set) == 0 {
+		if len(scratch) == 0 {
 			continue
 		}
-		insts := make([]int32, 0, len(set))
-		for inst := range set {
-			insts = append(insts, inst)
+		slices.Sort(scratch)
+		insts := make([]int32, 0, 4)
+		for i, inst := range scratch {
+			if i == 0 || inst != scratch[i-1] {
+				insts = append(insts, inst)
+			}
 		}
-		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
 		exp.followerInsts[u] = insts
 	}
 	return exp

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the repro benchmark harness (bench_test.go, one benchmark per paper
+# artefact plus the DESIGN.md ablations) and records the result as
+# BENCH_<n>.json in the repo root, so the perf trajectory is tracked across
+# PRs. <n> auto-increments past existing snapshots.
+#
+# Usage: scripts/bench.sh [bench-regex]   (default: all benchmarks)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench "$pattern" -benchmem -count=1 -run '^$' -timeout 60m . | tee "$raw"
+
+# Fold `BenchmarkName  iters  ns/op  B/op  allocs/op` lines into JSON.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": {", date; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (!first) printf ","
+	first = 0
+	printf "\n    \"%s\": {\"iters\": %s, \"ns_per_op\": %s", name, $2, $3
+	if ($6 == "B/op") printf ", \"bytes_per_op\": %s", $5
+	if ($8 == "allocs/op") printf ", \"allocs_per_op\": %s", $7
+	printf "}"
+}
+END { print "\n  }\n}" }
+' "$raw" >"$out"
+
+echo "wrote $out"
