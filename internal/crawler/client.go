@@ -23,6 +23,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // Client issues HTTP requests to instances. Resolve maps a domain to a base
@@ -39,6 +41,9 @@ type Client struct {
 	Retries int
 	// Backoff is the base backoff between attempts (0 = 50ms).
 	Backoff time.Duration
+	// Clock drives the retry backoff (nil = the system clock). Injecting a
+	// vclock.Sim makes retry storms run in virtual time with no real sleeps.
+	Clock vclock.Clock
 }
 
 // StatusError reports a non-2xx response.
@@ -102,14 +107,13 @@ func (c *Client) backoff() time.Duration {
 // Get fetches path from domain, returning the body. It rate-limits,
 // retries retryable failures with exponential backoff, and honours ctx.
 func (c *Client) Get(ctx context.Context, domain, path string) ([]byte, error) {
+	clk := vclock.OrSystem(c.Clock)
 	var lastErr error
 	backoff := c.backoff()
 	for attempt := 0; attempt < c.retries(); attempt++ {
 		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+			if err := clk.Sleep(ctx, backoff); err != nil {
+				return nil, err
 			}
 			backoff *= 2
 		}

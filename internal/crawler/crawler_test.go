@@ -8,13 +8,13 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 func TestHostLimiter(t *testing.T) {
-	l := NewHostLimiter(100, 2)
-	base := time.Unix(0, 0)
-	now := base
-	l.now = func() time.Time { return now }
+	clk := vclock.NewSim(time.Unix(0, 0))
+	l := NewHostLimiterClock(100, 2, clk)
 	// Burst of 2 is free.
 	if d := l.reserve("x"); d != 0 {
 		t.Fatalf("first reserve delayed %v", d)
@@ -30,10 +30,30 @@ func TestHostLimiter(t *testing.T) {
 	if d := l.reserve("y"); d != 0 {
 		t.Fatalf("other host delayed %v", d)
 	}
-	// Refill after time passes.
-	now = now.Add(time.Second)
+	// Refill after virtual time passes.
+	clk.Advance(time.Second)
 	if d := l.reserve("x"); d != 0 {
 		t.Fatalf("after refill delayed %v", d)
+	}
+}
+
+func TestHostLimiterWaitsInVirtualTime(t *testing.T) {
+	// A limiter throttled to 1 rps must fit 100 requests into zero wall
+	// sleeps when its clock is an elastic Sim.
+	clk := vclock.NewElastic(time.Unix(0, 0))
+	l := NewHostLimiterClock(1, 1, clk)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if err := l.Wait(context.Background(), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("100 rate-limited waits took %v of wall time", wall)
+	}
+	// Virtual time must have stretched to cover ~99 seconds of throttling.
+	if got := clk.Now().Sub(time.Unix(0, 0)); got < 90*time.Second {
+		t.Fatalf("virtual time advanced only %v", got)
 	}
 }
 
@@ -81,6 +101,38 @@ func TestClientRetries(t *testing.T) {
 	}
 	if calls.Load() != 3 {
 		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientBackoffRunsOnInjectedClock(t *testing.T) {
+	// A server that always fails drives the client through its full
+	// exponential backoff schedule; with an elastic Sim clock the retries
+	// must consume virtual — not wall — time.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	clk := vclock.NewElastic(time.Unix(0, 0))
+	c := &Client{
+		Resolve: func(string) string { return srv.URL },
+		Retries: 5,
+		Backoff: 10 * time.Second, // would be 150s of real sleeping
+		Clock:   clk,
+	}
+	start := time.Now()
+	_, err := c.Get(context.Background(), "x.test", "/")
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("backoff slept %v of wall time", wall)
+	}
+	// 4 backoffs: 10+20+40+80 = 150s of virtual time.
+	if got := clk.Now().Sub(time.Unix(0, 0)); got != 150*time.Second {
+		t.Fatalf("virtual backoff time = %v, want 150s", got)
+	}
+	if clk.SleepCount() != 4 {
+		t.Fatalf("sleeps = %d, want 4", clk.SleepCount())
 	}
 }
 

@@ -29,6 +29,20 @@ var followerLink = regexp.MustCompile(`<a class="follower" href="https?://([^/"]
 // nextLink matches the rel=next pagination anchor.
 var nextLink = regexp.MustCompile(`<a rel="next" href="[^"]*page=(\d+)"`)
 
+// ParseFollowerPage extracts follower→acct edges from one HTML follower
+// page and reports whether the page links a next page. It never fails:
+// unparseable markup simply yields no edges, matching how a scraper treats
+// a mangled page.
+func ParseFollowerPage(acct string, body []byte) (edges []Edge, hasNext bool) {
+	for _, m := range followerLink.FindAllSubmatch(body, -1) {
+		edges = append(edges, Edge{
+			From: string(m[2]) + "@" + string(m[1]),
+			To:   acct,
+		})
+	}
+	return edges, nextLink.Find(body) != nil
+}
+
 // ScrapeAccount collects every follower of acct (user@domain). It returns
 // the edges follower→acct.
 func (fs *FollowerScraper) ScrapeAccount(ctx context.Context, acct string) ([]Edge, error) {
@@ -47,14 +61,9 @@ func (fs *FollowerScraper) ScrapeAccount(ctx context.Context, acct string) ([]Ed
 		if err != nil {
 			return edges, err
 		}
-		for _, m := range followerLink.FindAllSubmatch(body, -1) {
-			edges = append(edges, Edge{
-				From: string(m[2]) + "@" + string(m[1]),
-				To:   acct,
-			})
-		}
-		next := nextLink.FindSubmatch(body)
-		if next == nil {
+		pageEdges, hasNext := ParseFollowerPage(acct, body)
+		edges = append(edges, pageEdges...)
+		if !hasNext {
 			return edges, nil
 		}
 		page++

@@ -1,0 +1,164 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/instance"
+)
+
+// Fuzz targets for the crawler's parsers: the follower-page HTML scraper
+// and the status/instance JSON decoders. The committed corpora under
+// testdata/fuzz/ run as regression seeds on every plain `go test`; run
+// `go test -fuzz FuzzX ./internal/crawler` to explore further.
+
+// FuzzFollowerPage pins the no-panic and well-formedness invariants of the
+// HTML follower-page parser on arbitrary bytes.
+func FuzzFollowerPage(f *testing.F) {
+	f.Add([]byte(`<html><body><ul>
+<li><a class="follower" href="https://b.test/users/u7">u7@b.test</a></li>
+</ul><a rel="next" href="/users/alice/followers?page=2">next</a></body></html>`))
+	f.Add([]byte(`<a class="follower" href="http://x.test/users/a">`))
+	f.Add([]byte("<html>no followers here</html>"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const acct = "alice@a.test"
+		edges, hasNext := ParseFollowerPage(acct, body)
+		for _, e := range edges {
+			if e.To != acct {
+				t.Fatalf("edge target %q != %q", e.To, acct)
+			}
+			if _, _, ok := SplitAcct(e.From); !ok {
+				t.Fatalf("malformed follower acct %q", e.From)
+			}
+		}
+		// Parsing is pure: a second pass sees exactly the same page.
+		edges2, hasNext2 := ParseFollowerPage(acct, body)
+		if hasNext != hasNext2 || !reflect.DeepEqual(edges, edges2) {
+			t.Fatal("parser is not deterministic")
+		}
+	})
+}
+
+var safeName = regexp.MustCompile(`^[a-zA-Z0-9.-]{1,40}$`)
+
+// FuzzFollowerPageRoundTrip drives fuzzed follower populations through the
+// real renderer (instance.Server's HTML follower pages) and back through
+// the real parser, asserting the scraped edges reproduce the follower list
+// exactly — the §3 graph-crawl loop in one invariant.
+func FuzzFollowerPageRoundTrip(f *testing.F) {
+	f.Add("alice", "remote", uint8(3))
+	f.Add("u7", "b", uint8(90)) // spans three pages
+	f.Add("a.b-c", "x.y", uint8(0))
+	f.Fuzz(func(t *testing.T, user, domain string, n uint8) {
+		if !safeName.MatchString(user) || !safeName.MatchString(domain) {
+			t.Skip("names outside the account charset")
+		}
+		srv := instance.NewServer(instance.Config{Domain: "home.test"}, nil)
+		if _, err := srv.CreateAccount(user, false, true, time.Time{}); err != nil {
+			t.Skip("unusable account name")
+		}
+		want := make([]Edge, 0, int(n))
+		acct := user + "@home.test"
+		for i := 0; i < int(n); i++ {
+			follower := federation.Actor{User: fmt.Sprintf("f%d", i), Domain: fmt.Sprintf("%s%d.test", domain, i)}
+			err := srv.Receive(context.Background(), &federation.Activity{
+				Type:   federation.TypeFollow,
+				From:   follower,
+				Target: federation.Actor{User: user, Domain: "home.test"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Edge{From: follower.String(), To: acct})
+		}
+		var got []Edge
+		for page := 1; ; page++ {
+			req := httptest.NewRequest("GET", fmt.Sprintf("/users/%s/followers?page=%d", user, page), nil)
+			req.Host = "home.test"
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				t.Fatalf("page %d: status %d", page, rec.Code)
+			}
+			edges, hasNext := ParseFollowerPage(acct, rec.Body.Bytes())
+			got = append(got, edges...)
+			if !hasNext {
+				break
+			}
+		}
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip lost edges: got %d, want %d", len(got), len(want))
+		}
+	})
+}
+
+// FuzzDecodeStatuses pins the status-JSON decoder: arbitrary bytes either
+// fail to decode or produce records consistent with the wire form.
+func FuzzDecodeStatuses(f *testing.F) {
+	f.Add([]byte(`[{"id":"17","created_at":"2018-05-01T10:00:00.000Z","content":"hi","account":{"acct":"a@b.test"},"tags":[{"name":"x"}]}]`))
+	f.Add([]byte(`[{"id":"9","created_at":"2018-05-01T10:00:00Z","account":{"acct":"u@v"},"reblog":{"uri":"w"}}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"id":"007","created_at":"bogus"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var page []wireStatus
+		if err := json.Unmarshal(data, &page); err != nil {
+			t.Skip("not a status page")
+		}
+		for _, ws := range page {
+			rec, err := decodeStatus(ws)
+			if err != nil {
+				continue
+			}
+			if rec.Acct != ws.Account.Acct {
+				t.Fatalf("acct %q != wire %q", rec.Acct, ws.Account.Acct)
+			}
+			if len(rec.Hashtags) != len(ws.Tags) {
+				t.Fatalf("hashtags %d != wire tags %d", len(rec.Hashtags), len(ws.Tags))
+			}
+			if rec.Boost != (ws.Reblog != nil) {
+				t.Fatal("boost flag mismatch")
+			}
+			if rec.CreatedAt.IsZero() && ws.CreatedAt != "" &&
+				ws.CreatedAt != "0001-01-01T00:00:00.000Z" && ws.CreatedAt != "0001-01-01T00:00:00Z" {
+				t.Fatalf("timestamp %q decoded to zero", ws.CreatedAt)
+			}
+		}
+	})
+}
+
+// FuzzInstanceInfo pins the /api/v1/instance decoder: arbitrary bytes
+// either fail or decode to a document that survives a re-encode/decode
+// cycle unchanged (no lossy fields, no panics).
+func FuzzInstanceInfo(f *testing.F) {
+	f.Add([]byte(`{"uri":"a.test","version":"2.4.0","registrations":true,"stats":{"user_count":5,"status_count":17,"domain_count":3}}`))
+	f.Add([]byte(`{"stats":{"user_count":-1}}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var info monitorInfo
+		if err := json.Unmarshal(data, &info); err != nil {
+			t.Skip("not an instance document")
+		}
+		out, err := json.Marshal(info)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var again monitorInfo
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(info, again) {
+			t.Fatalf("decoder is lossy:\n first %+v\n again %+v", info, again)
+		}
+	})
+}

@@ -4,18 +4,22 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/vclock"
 )
 
 // HostLimiter is a per-host token bucket: each host gets Burst tokens that
 // refill at Rate tokens per second. It implements the paper's "artificial
 // delays between API calls to limit any effects on the instance operations".
+// All timing flows through a vclock.Clock, so a simulated crawl waits in
+// virtual time only.
 type HostLimiter struct {
 	rate  float64
 	burst float64
+	clk   vclock.Clock
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
-	now     func() time.Time
 }
 
 type bucket struct {
@@ -24,16 +28,23 @@ type bucket struct {
 }
 
 // NewHostLimiter builds a limiter with the given steady-state rate
-// (requests/second) and burst size. rate and burst must be positive.
+// (requests/second) and burst size, on the system clock. rate and burst must
+// be positive.
 func NewHostLimiter(rate, burst float64) *HostLimiter {
+	return NewHostLimiterClock(rate, burst, nil)
+}
+
+// NewHostLimiterClock is NewHostLimiter with an injectable clock (nil = the
+// system clock).
+func NewHostLimiterClock(rate, burst float64, clk vclock.Clock) *HostLimiter {
 	if rate <= 0 || burst <= 0 {
 		panic("crawler: limiter rate and burst must be positive")
 	}
 	return &HostLimiter{
 		rate:    rate,
 		burst:   burst,
+		clk:     vclock.OrSystem(clk),
 		buckets: make(map[string]*bucket),
-		now:     time.Now,
 	}
 }
 
@@ -42,7 +53,7 @@ func NewHostLimiter(rate, burst float64) *HostLimiter {
 func (l *HostLimiter) reserve(host string) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	now := l.now()
+	now := l.clk.Now()
 	b := l.buckets[host]
 	if b == nil {
 		b = &bucket{tokens: l.burst, last: now}
@@ -65,14 +76,7 @@ func (l *HostLimiter) reserve(host string) time.Duration {
 func (l *HostLimiter) Wait(ctx context.Context, host string) error {
 	d := l.reserve(host)
 	if d <= 0 {
-		return nil
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
 		return ctx.Err()
-	case <-t.C:
-		return nil
 	}
+	return l.clk.Sleep(ctx, d)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/vclock"
 )
 
 // Sample is one probe datapoint: what mnm.social recorded for one instance
@@ -26,8 +27,13 @@ type Monitor struct {
 	Client  *Client
 	Domains []string
 	Workers int
-	// Now is the timestamp source (defaults to time.Now); overridable so
-	// replayed probes can carry simulated time.
+	// Clock drives the probe cadence and default timestamps (nil = the
+	// system clock). A vclock.Sim turns a multi-week probing campaign into
+	// a wall-clock-free simulation.
+	Clock vclock.Clock
+	// Now overrides the sample timestamp source (defaults to Clock.Now);
+	// campaign drivers pin it per round so replayed probes carry exact
+	// slot times.
 	Now func() time.Time
 }
 
@@ -45,7 +51,7 @@ type monitorInfo struct {
 // PollOnce probes every domain once, concurrently, and returns one sample
 // per domain (offline instances yield Online=false samples).
 func (m *Monitor) PollOnce(ctx context.Context) []Sample {
-	now := time.Now
+	now := vclock.OrSystem(m.Clock).Now
 	if m.Now != nil {
 		now = m.Now
 	}
@@ -77,16 +83,17 @@ func (m *Monitor) PollOnce(ctx context.Context) []Sample {
 }
 
 // Run polls on the given cadence until ctx is cancelled, sending each round
-// of samples to sink. The first round fires immediately.
+// of samples to sink. The first round fires immediately. The cadence runs on
+// the monitor's Clock, so a simulated campaign ticks in virtual time.
 func (m *Monitor) Run(ctx context.Context, interval time.Duration, sink func([]Sample)) {
-	t := time.NewTicker(interval)
+	t := vclock.OrSystem(m.Clock).NewTicker(interval)
 	defer t.Stop()
 	for {
 		sink(m.PollOnce(ctx))
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 	}
 }

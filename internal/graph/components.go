@@ -54,7 +54,7 @@ type WCCResult struct {
 	// node id — the canonical, union-order-independent rule shared by all
 	// WCC engines (DESIGN.md).
 	LargestRoot int32
-	roots         []int32
+	roots       []int32
 }
 
 // LCCFraction returns LargestSize / AliveNodes, or 0 when no nodes are alive.

@@ -5,44 +5,76 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/federation"
+	"repro/internal/vclock"
 )
 
 // Network hosts many instances in one process, multiplexed by Host header,
 // federating over an in-process bus. It is the live counterpart of a
 // dataset.World: LoadWorld replays a generated world into running servers so
-// the measurement toolkit can crawl a real HTTP fediverse.
+// the measurement toolkit can crawl a real HTTP fediverse. Registration and
+// serving are safe to interleave: instances can join (or churn) while the
+// crawler is mid-flight, exactly like the live fediverse.
 type Network struct {
-	Bus     *federation.Bus
+	Bus *federation.Bus
+
+	mu      sync.RWMutex
+	clk     vclock.Clock
 	servers map[string]*Server
 	domains []string
 }
 
-// NewNetwork returns an empty network with the given federation worker pool.
+// NewNetwork returns an empty network with the given federation worker pool
+// on the system clock.
 func NewNetwork(workers int) *Network {
+	return NewNetworkClock(workers, nil)
+}
+
+// NewNetworkClock is NewNetwork with an injectable clock (nil = the system
+// clock), shared with the federation bus.
+func NewNetworkClock(workers int, clk vclock.Clock) *Network {
 	return &Network{
 		Bus:     federation.NewBus(workers),
+		clk:     vclock.OrSystem(clk),
 		servers: make(map[string]*Server),
 	}
+}
+
+// Clock returns the clock the network was built with.
+func (n *Network) Clock() vclock.Clock {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.clk
 }
 
 // Add creates and registers a server.
 func (n *Network) Add(cfg Config) *Server {
 	s := NewServer(cfg, n.Bus)
+	n.mu.Lock()
 	n.servers[cfg.Domain] = s
 	n.domains = append(n.domains, cfg.Domain)
+	n.mu.Unlock()
 	n.Bus.Register(s)
 	return s
 }
 
 // Server returns the server for domain, or nil.
-func (n *Network) Server(domain string) *Server { return n.servers[domain] }
+func (n *Network) Server(domain string) *Server {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.servers[domain]
+}
 
 // Domains lists all hosted domains in creation order.
-func (n *Network) Domains() []string { return append([]string(nil), n.domains...) }
+func (n *Network) Domains() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]string(nil), n.domains...)
+}
 
 // ServeHTTP routes by Host header (port stripped).
 func (n *Network) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -50,8 +82,8 @@ func (n *Network) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]
 	}
-	s, ok := n.servers[host]
-	if !ok {
+	s := n.Server(host)
+	if s == nil {
 		http.Error(w, fmt.Sprintf("no such instance: %q", host), http.StatusBadGateway)
 		return
 	}
@@ -65,7 +97,7 @@ func (n *Network) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // from the same world.
 func (n *Network) ApplyTraceSlot(w *dataset.World, slot int) {
 	for i := range w.Instances {
-		srv := n.servers[w.Instances[i].Domain]
+		srv := n.Server(w.Instances[i].Domain)
 		if srv == nil {
 			continue
 		}
@@ -84,6 +116,12 @@ type LoadOptions struct {
 	OfflineGone bool
 	// Now is the timestamp base for replayed content.
 	Now time.Time
+	// Clock is the network's time source (nil = the system clock); the
+	// simnet harness injects a vclock.Sim here.
+	Clock vclock.Clock
+	// FederationLatency, when positive, makes every bus delivery take this
+	// long on Clock.
+	FederationLatency time.Duration
 }
 
 // UserName returns the canonical account name for a world user id.
@@ -99,7 +137,10 @@ func LoadWorld(ctx context.Context, w *dataset.World, opts LoadOptions) (*Networ
 	if opts.Now.IsZero() {
 		opts.Now = dataset.Day(w.Days)
 	}
-	n := NewNetwork(64)
+	n := NewNetworkClock(64, opts.Clock)
+	if opts.FederationLatency > 0 {
+		n.Bus.SetLatency(opts.Clock, opts.FederationLatency)
+	}
 
 	for i := range w.Instances {
 		in := &w.Instances[i]
@@ -117,7 +158,7 @@ func LoadWorld(ctx context.Context, w *dataset.World, opts LoadOptions) (*Networ
 	// Accounts.
 	for i := range w.Users {
 		u := &w.Users[i]
-		srv := n.servers[w.Instances[u.Instance].Domain]
+		srv := n.Server(w.Instances[u.Instance].Domain)
 		if _, err := srv.CreateAccount(UserName(u.ID), u.Private, true, dataset.Day(u.JoinDay)); err != nil {
 			return nil, err
 		}
@@ -127,7 +168,7 @@ func LoadWorld(ctx context.Context, w *dataset.World, opts LoadOptions) (*Networ
 	// handshake (which installs the push subscriptions).
 	for ui := range w.Users {
 		u := &w.Users[ui]
-		srv := n.servers[w.Instances[u.Instance].Domain]
+		srv := n.Server(w.Instances[u.Instance].Domain)
 		for _, v := range w.Social.Out(int32(ui)) {
 			target := &w.Users[v]
 			if target.Instance == u.Instance {
@@ -156,7 +197,7 @@ func LoadWorld(ctx context.Context, w *dataset.World, opts LoadOptions) (*Networ
 		if count == 0 {
 			continue
 		}
-		srv := n.servers[w.Instances[u.Instance].Domain]
+		srv := n.Server(w.Instances[u.Instance].Domain)
 		for k := 0; k < count; k++ {
 			content := fmt.Sprintf("toot %d from %s", k, UserName(u.ID))
 			var tags []string

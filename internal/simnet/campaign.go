@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+// CampaignConfig shapes a simulated measurement campaign: the §3 pipeline
+// of five-minute availability probes followed by a full toot crawl and
+// follower scrape of whatever is reachable at the end of the probing
+// window.
+type CampaignConfig struct {
+	// StartSlot is the first probed 5-minute slot (an index into the
+	// world's traces).
+	StartSlot int
+	// Slots is the number of probe rounds; 14 days = 14*288 = 4032.
+	Slots int
+	// ProbeWorkers / CrawlWorkers / ScrapeWorkers bound concurrency in the
+	// three phases (0 = the crawler defaults).
+	ProbeWorkers  int
+	CrawlWorkers  int
+	ScrapeWorkers int
+}
+
+// CampaignResult carries everything the simulated measurement campaign
+// collected — the same three §3 datasets the paper gathered.
+type CampaignResult struct {
+	// Domains is the probed population in probe order (world order).
+	Domains []string
+	// Log is the raw probe record; Traces its §4.4 bitset form.
+	Log    *crawler.ProbeLog
+	Traces *sim.TraceSet
+	// Crawls holds the per-instance toot harvests; Authors the distinct
+	// toot authors in first-seen order; Scrape their follower lists.
+	Crawls  []crawler.InstanceCrawl
+	Authors []string
+	Scrape  crawler.ScrapeResult
+	// FinalSlot is the slot whose availability was live during the crawl
+	// and scrape phases.
+	FinalSlot int
+}
+
+// RunCampaign replays the paper's measurement campaign against the live
+// harness in virtual time: for every slot, the outage injector applies the
+// world's ground-truth traces to the running servers and the monitor probes
+// every instance over HTTP; after the last round, the toot crawler pages
+// through every reachable public timeline and the follower scraper walks
+// the followers of every discovered author. Weeks of simulated probing
+// complete with zero real sleeps.
+func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Slots <= 0 {
+		panic("simnet: campaign needs a positive slot count")
+	}
+	domains := h.Net.Domains()
+	inj := NewInjector(h.Net, domains, h.World.Traces)
+	mon := &crawler.Monitor{
+		Client:  h.Client,
+		Domains: domains,
+		Workers: cfg.ProbeWorkers,
+		Clock:   h.Clock,
+	}
+	log := crawler.NewProbeLog()
+
+	for s := 0; s < cfg.Slots; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		slot := cfg.StartSlot + s
+		inj.Apply(slot)
+		// Pin the round's sample timestamp to the slot's calendar time.
+		// (Virtual time itself may run ahead: retry backoffs inside the
+		// round stretch the elastic clock.)
+		at := dataset.Day(0).Add(time.Duration(slot) * SlotDuration)
+		h.Clock.AdvanceTo(at)
+		mon.Now = func() time.Time { return at }
+		log.Add(mon.PollOnce(ctx))
+	}
+
+	finalSlot := cfg.StartSlot + cfg.Slots - 1
+	tc := &crawler.TootCrawler{Client: h.Client, Workers: cfg.CrawlWorkers, Local: true}
+	crawls := tc.Crawl(ctx, domains)
+	authors := crawler.Authors(crawls)
+	fs := &crawler.FollowerScraper{Client: h.Client, Workers: cfg.ScrapeWorkers}
+	scrape := fs.Scrape(ctx, authors)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	traces, _ := log.ToTraceSet(dataset.SlotsPerDay)
+	return &CampaignResult{
+		Domains:   domains,
+		Log:       log,
+		Traces:    traces,
+		Crawls:    crawls,
+		Authors:   authors,
+		Scrape:    scrape,
+		FinalSlot: finalSlot,
+	}, nil
+}

@@ -1,0 +1,42 @@
+package simnet
+
+import (
+	"repro/internal/instance"
+	"repro/internal/sim"
+)
+
+// Injector replays a sim.TraceSet onto live servers: at every applied slot,
+// an instance whose trace bit is down starts refusing requests with 503s —
+// exactly the failure the mnm.social prober recorded — and comes back when
+// the trace does. Traces and domains are matched by position.
+type Injector struct {
+	net     *instance.Network
+	domains []string
+	traces  *sim.TraceSet
+	slot    int
+}
+
+// NewInjector builds an injector for the given network. domains[i] must be
+// the instance whose availability traces.Traces[i] records.
+func NewInjector(net *instance.Network, domains []string, traces *sim.TraceSet) *Injector {
+	if len(domains) != traces.Len() {
+		panic("simnet: injector domain/trace count mismatch")
+	}
+	return &Injector{net: net, domains: domains, traces: traces, slot: -1}
+}
+
+// Apply drives every server's availability from its trace at slot. Slots
+// outside the trace window leave instances up (the trace has no opinion).
+func (inj *Injector) Apply(slot int) {
+	inj.slot = slot
+	for i, d := range inj.domains {
+		srv := inj.net.Server(d)
+		if srv == nil {
+			continue
+		}
+		srv.SetOnline(!inj.traces.Traces[i].IsDown(slot))
+	}
+}
+
+// Slot returns the most recently applied slot (-1 before the first Apply).
+func (inj *Injector) Slot() int { return inj.slot }

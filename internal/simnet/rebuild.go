@@ -1,0 +1,243 @@
+package simnet
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/instance"
+	"repro/internal/sim"
+)
+
+// This file closes the measurement loop: Rebuild turns raw campaign
+// artefacts (probe log, toot harvest, follower scrape) back into a
+// dataset.World, and ExpectedWorld derives — from generated ground truth
+// and the §3 coverage rules — exactly what a flawless campaign must
+// recover. A correct pipeline makes the two identical, byte for byte.
+
+// worldParts is the normalised input both world builders produce; assemble
+// turns it into a dataset.World one way, so recovered and expected worlds
+// can only differ where the underlying data differs.
+type worldParts struct {
+	instances []dataset.Instance
+	accounts  map[string]struct{} // every observed user@domain
+	tootsOf   map[string]int      // public toots per account
+	edges     []crawler.Edge      // follower → followee
+	traces    *sim.TraceSet
+	days      int
+}
+
+// assemble builds the world: dense user ids in sorted account order, the
+// social graph with edges inserted in sorted order, and the federation
+// graph induced from it. It returns the world plus the account name of
+// every user id.
+func assemble(p worldParts) (*dataset.World, []string) {
+	instIdx := make(map[string]int32, len(p.instances))
+	for i := range p.instances {
+		instIdx[p.instances[i].Domain] = int32(i)
+	}
+	names := make([]string, 0, len(p.accounts))
+	for acct := range p.accounts {
+		if _, domain, ok := crawler.SplitAcct(acct); ok {
+			if _, known := instIdx[domain]; known {
+				names = append(names, acct)
+			}
+		}
+	}
+	sort.Strings(names)
+	idx := make(map[string]int32, len(names))
+	users := make([]dataset.User, len(names))
+	for i, acct := range names {
+		idx[acct] = int32(i)
+		_, domain, _ := crawler.SplitAcct(acct)
+		users[i] = dataset.User{
+			ID:       int32(i),
+			Instance: instIdx[domain],
+			Toots:    p.tootsOf[acct],
+		}
+	}
+
+	edges := append([]crawler.Edge(nil), p.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	social := graph.NewDirected(len(users))
+	for _, e := range edges {
+		from, okF := idx[e.From]
+		to, okT := idx[e.To]
+		if okF && okT {
+			social.AddEdge(from, to)
+		}
+	}
+	group := make([]int32, len(users))
+	for i := range users {
+		group[i] = users[i].Instance
+	}
+	w := &dataset.World{
+		Days:       p.days,
+		Instances:  p.instances,
+		Users:      users,
+		Social:     social,
+		Federation: social.Induce(group, len(p.instances)),
+		Traces:     p.traces,
+	}
+	return w, names
+}
+
+// Rebuild reconstructs a world from campaign artefacts only — nothing from
+// the generator crosses this boundary. Instance metadata comes from the
+// last online probe sample, toot counts and authorship from the toot
+// crawl, the social graph from the follower scrape, and the availability
+// traces from the probe log.
+func Rebuild(res *CampaignResult) (*dataset.World, []string) {
+	parts := worldParts{
+		accounts: make(map[string]struct{}),
+		tootsOf:  make(map[string]int),
+		traces:   res.Traces,
+		days:     res.Traces.Slots() / dataset.SlotsPerDay,
+	}
+	parts.instances = make([]dataset.Instance, len(res.Domains))
+	for i, d := range res.Domains {
+		in := dataset.Instance{ID: int32(i), Domain: d, GoneDay: -1}
+		var last *crawler.Sample
+		samples := res.Log.Samples(d)
+		for k := range samples {
+			if samples[k].Online {
+				last = &samples[k]
+			}
+		}
+		if last != nil {
+			in.Software = dataset.SoftwareMastodon
+			if strings.Contains(last.Version, "Pleroma") {
+				in.Software = dataset.SoftwarePleroma
+			}
+			in.Open = last.Open
+			in.Users = last.Users
+			in.Toots = last.Toots
+		}
+		parts.instances[i] = in
+	}
+	for i := range res.Crawls {
+		c := &res.Crawls[i]
+		if c.Blocked {
+			parts.instances[i].BlocksCrawl = true
+		}
+		for _, t := range c.Toots {
+			parts.accounts[t.Acct] = struct{}{}
+			parts.tootsOf[t.Acct]++
+		}
+	}
+	for _, e := range res.Scrape.Edges {
+		parts.accounts[e.From] = struct{}{}
+		parts.accounts[e.To] = struct{}{}
+	}
+	parts.edges = res.Scrape.Edges
+	return assemble(parts)
+}
+
+// ExpectedConfig mirrors the campaign parameters that shape coverage.
+type ExpectedConfig struct {
+	StartSlot int
+	Slots     int
+	// MaxTootsPerUser must match the harness's load cap (0 = 10).
+	MaxTootsPerUser int
+}
+
+// ExpectedWorld computes the world a flawless campaign over truth must
+// recover, from ground truth plus the §3 coverage rules: an instance
+// contributes metadata iff it was up for at least one probed slot; its
+// timeline is harvested iff it is up at the final slot and does not block
+// crawling; an author is visible iff public with at least one toot on a
+// harvested instance; and exactly the followers of visible authors are
+// scraped.
+func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []string) {
+	cap := cfg.MaxTootsPerUser
+	if cap <= 0 {
+		cap = 10
+	}
+	finalSlot := cfg.StartSlot + cfg.Slots - 1
+	upAt := func(i int32, slot int) bool { return !w.Traces.Traces[i].IsDown(slot) }
+
+	parts := worldParts{
+		accounts: make(map[string]struct{}),
+		tootsOf:  make(map[string]int),
+		days:     cfg.Slots / dataset.SlotsPerDay,
+	}
+
+	// Per-instance loaded toot counters (what the live servers report).
+	loadedToots := make([]int64, len(w.Instances))
+	for _, u := range w.Users {
+		c := u.Toots
+		if c > cap {
+			c = cap
+		}
+		loadedToots[u.Instance] += int64(c)
+	}
+
+	parts.instances = make([]dataset.Instance, len(w.Instances))
+	for i := range w.Instances {
+		truth := &w.Instances[i]
+		in := dataset.Instance{ID: int32(i), Domain: truth.Domain, GoneDay: -1}
+		seenOnline := false
+		for s := cfg.StartSlot; s <= finalSlot; s++ {
+			if upAt(int32(i), s) {
+				seenOnline = true
+				break
+			}
+		}
+		if seenOnline {
+			in.Software = truth.Software
+			in.Open = truth.Open
+			in.Users = truth.Users
+			in.Toots = loadedToots[i]
+		}
+		if truth.BlocksCrawl && upAt(int32(i), finalSlot) {
+			in.BlocksCrawl = true
+		}
+		parts.instances[i] = in
+	}
+
+	// Visible authors and their followers.
+	acctOf := func(u *dataset.User) string {
+		return instance.UserName(u.ID) + "@" + w.Instances[u.Instance].Domain
+	}
+	for ui := range w.Users {
+		u := &w.Users[ui]
+		truth := &w.Instances[u.Instance]
+		if u.Private || u.Toots == 0 || truth.BlocksCrawl || !upAt(u.Instance, finalSlot) {
+			continue
+		}
+		acct := acctOf(u)
+		parts.accounts[acct] = struct{}{}
+		c := u.Toots
+		if c > cap {
+			c = cap
+		}
+		parts.tootsOf[acct] = c
+		for _, v := range w.Social.In(int32(ui)) {
+			follower := acctOf(&w.Users[v])
+			parts.accounts[follower] = struct{}{}
+			parts.edges = append(parts.edges, crawler.Edge{From: follower, To: acct})
+		}
+	}
+
+	// The trace window a perfect prober records.
+	ts := &sim.TraceSet{SlotsPerDay: dataset.SlotsPerDay, Traces: make([]*sim.Trace, len(w.Instances))}
+	for i := range w.Instances {
+		tr := sim.NewTrace(cfg.Slots)
+		for s := 0; s < cfg.Slots; s++ {
+			if w.Traces.Traces[i].IsDown(cfg.StartSlot + s) {
+				tr.SetDown(s)
+			}
+		}
+		ts.Traces[i] = tr
+	}
+	parts.traces = ts
+
+	return assemble(parts)
+}

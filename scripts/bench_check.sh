@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Diffs the newest BENCH_<n>.json snapshot (written by scripts/bench.sh)
+# against the previous one and reports ns/op movement. Regressions worse
+# than 20% on the DESIGN.md ablation benchmarks (Benchmark*Ablation*) are
+# flagged loudly; everything else is informational. The script always
+# exits 0 — it is a non-blocking CI report, not a gate.
+#
+# Usage: scripts/bench_check.sh [threshold-pct]   (default: 20)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+threshold="${1:-20}"
+
+# Locate the two newest snapshots by index.
+latest=-1
+prev=-1
+for f in BENCH_*.json; do
+	[ -e "$f" ] || continue
+	n="${f#BENCH_}"
+	n="${n%.json}"
+	case "$n" in *[!0-9]*) continue ;; esac
+	if [ "$n" -gt "$latest" ]; then
+		prev=$latest
+		latest=$n
+	elif [ "$n" -gt "$prev" ]; then
+		prev=$n
+	fi
+done
+
+if [ "$latest" -lt 0 ] || [ "$prev" -lt 0 ]; then
+	echo "bench_check: need at least two BENCH_<n>.json snapshots, nothing to compare"
+	exit 0
+fi
+
+old="BENCH_${prev}.json"
+new="BENCH_${latest}.json"
+echo "bench_check: comparing $old -> $new (threshold ${threshold}%)"
+
+# Each snapshot holds flat lines of the form
+#   "BenchmarkName": {"iters": N, "ns_per_op": N, ...}
+# so a line-oriented awk pass is enough; no JSON tooling required.
+awk -v threshold="$threshold" '
+function parse(line) {
+	if (match(line, /"Benchmark[^"]*"/) == 0) return ""
+	name = substr(line, RSTART + 1, RLENGTH - 2)
+	if (match(line, /"ns_per_op": *[0-9.e+-]+/) == 0) return ""
+	ns = substr(line, RSTART, RLENGTH)
+	sub(/.*: */, "", ns)
+	return name SUBSEP ns
+}
+FNR == 1 { file++ }
+{
+	kv = parse($0)
+	if (kv == "") next
+	split(kv, a, SUBSEP)
+	if (file == 1) before[a[1]] = a[2]
+	else after[a[1]] = a[2]
+}
+END {
+	regressions = 0
+	for (name in after) {
+		if (!(name in before) || before[name] <= 0) continue
+		delta = (after[name] - before[name]) / before[name] * 100
+		ablation = (name ~ /Ablation/)
+		if (delta > threshold && ablation) {
+			printf "REGRESSION  %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				name, before[name], after[name], delta
+			regressions++
+		} else if (delta > threshold) {
+			printf "slower      %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				name, before[name], after[name], delta
+		} else if (delta < -threshold) {
+			printf "improved    %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+				name, before[name], after[name], delta
+		}
+	}
+	if (regressions > 0)
+		printf "bench_check: %d ablation benchmark(s) regressed more than %s%%\n", regressions, threshold
+	else
+		printf "bench_check: no ablation regressions beyond %s%%\n", threshold
+}
+' "$old" "$new"
+
+exit 0
