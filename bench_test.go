@@ -8,8 +8,10 @@ package repro
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -19,11 +21,14 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/dataset"
 	"repro/internal/dht"
+	"repro/internal/federation"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/instance"
 	"repro/internal/replication"
+	"repro/internal/simnet"
 	"repro/internal/twitter"
+	"repro/internal/wire"
 )
 
 var (
@@ -243,11 +248,12 @@ func BenchmarkRunAll(b *testing.B) {
 
 var (
 	crawlOnce sync.Once
+	crawlNet  *instance.Network
 	crawlSrv  *httptest.Server
 	crawlDoms []string
 )
 
-func crawlTarget(b *testing.B) (*httptest.Server, []string) {
+func crawlTarget(b *testing.B) (*instance.Network, []string) {
 	b.Helper()
 	crawlOnce.Do(func() {
 		cfg := gen.TinyConfig(2)
@@ -259,17 +265,22 @@ func crawlTarget(b *testing.B) (*httptest.Server, []string) {
 		if err != nil {
 			panic(err)
 		}
+		crawlNet = net
 		crawlSrv = httptest.NewServer(net)
 		for i := range w.Instances {
 			crawlDoms = append(crawlDoms, w.Instances[i].Domain)
 		}
 	})
-	return crawlSrv, crawlDoms
+	return crawlNet, crawlDoms
 }
 
+// benchCrawl measures the §3 toot crawl in the campaign configuration:
+// the socketless memory transport of internal/simnet, where throughput is
+// bounded by the wire codecs and the server's page cache rather than TCP
+// (see the CrawlSocket ablation for the kernel-bound baseline).
 func benchCrawl(b *testing.B, workers int) {
-	srv, domains := crawlTarget(b)
-	cli := &crawler.Client{Resolve: func(string) string { return srv.URL }}
+	net, domains := crawlTarget(b)
+	cli := &crawler.Client{HTTP: &http.Client{Transport: &simnet.MemoryTransport{Handler: net}}}
 	tc := &crawler.TootCrawler{Client: cli, Workers: workers, Local: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -281,6 +292,22 @@ func benchCrawl(b *testing.B, workers int) {
 }
 
 func BenchmarkCrawlWorld(b *testing.B) { benchCrawl(b, 10) }
+
+// BenchmarkAblationCrawlSocket is the same crawl over real TCP sockets —
+// the transport ablation (the kernel round-trips the memory transport
+// removed).
+func BenchmarkAblationCrawlSocket(b *testing.B) {
+	_, domains := crawlTarget(b)
+	cli := &crawler.Client{Resolve: func(string) string { return crawlSrv.URL }}
+	tc := &crawler.TootCrawler{Client: cli, Workers: 10, Local: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := tc.Crawl(context.Background(), domains)
+		if crawler.Summarize(results).Toots == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
 
 // --- Ablations (DESIGN.md) ---
 
@@ -493,6 +520,289 @@ func BenchmarkAblationMonteCarlo128(b *testing.B) {
 func BenchmarkAblationCrawlWorkers1(b *testing.B)  { benchCrawl(b, 1) }
 func BenchmarkAblationCrawlWorkers4(b *testing.B)  { benchCrawl(b, 4) }
 func BenchmarkAblationCrawlWorkers16(b *testing.B) { benchCrawl(b, 16) }
+
+// --- Wire codec ablations (DESIGN.md): the hand-rolled append/streaming
+// codecs of internal/wire against the reflection-based encoding/json
+// baseline they replaced, on the wire shapes the §3 campaign moves most:
+// a full 40-toot timeline page, the instance-info document, and the
+// federation Create envelope.
+
+func benchStatusPage() []wire.Status {
+	page := make([]wire.Status, 40)
+	for i := range page {
+		page[i] = wire.Status{
+			ID:        fmt.Sprint(4000 - i),
+			CreatedAt: "2018-05-01T10:00:00.000Z",
+			Content:   fmt.Sprintf("toot %d from u%d", i, i%7),
+			Account:   wire.StatusAccount{Username: fmt.Sprintf("u%d", i%7), Acct: fmt.Sprintf("u%d@instance-%02d.fedi.test", i%7, i%5)},
+		}
+		if i%5 == 0 {
+			page[i].Tags = []wire.StatusTag{{Name: "fediverse"}}
+		}
+		if i%11 == 0 {
+			page[i].Reblog = &wire.StatusReblog{URI: fmt.Sprintf("far.test/%d", i)}
+		}
+	}
+	return page
+}
+
+func benchInstanceInfo() *wire.InstanceInfo {
+	return &wire.InstanceInfo{
+		URI: "instance-0001.fedi.test", Title: "instance-0001.fedi.test",
+		Version: "2.4.0", Registrations: true,
+		Stats: wire.InstanceStats{UserCount: 812, StatusCount: 90417, DomainCount: 214, RemoteFollows: 3321},
+	}
+}
+
+func benchActivity() *wire.Activity {
+	return &wire.Activity{
+		Type: "Create",
+		From: wire.Actor{User: "u17", Domain: "instance-0001.fedi.test"},
+		Note: &wire.Note{
+			ID:        "instance-0001.fedi.test/4081",
+			Author:    wire.Actor{User: "u17", Domain: "instance-0001.fedi.test"},
+			Content:   "toot 3 from u17",
+			Hashtags:  []string{"fediverse"},
+			CreatedAt: dataset.Day(100),
+		},
+	}
+}
+
+func BenchmarkAblationWireEncodeStatusPage(b *testing.B) {
+	page := benchStatusPage()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendStatuses(buf[:0], page)
+	}
+}
+
+func BenchmarkAblationJSONEncodeStatusPage(b *testing.B) {
+	page := benchStatusPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWireDecodeStatusPage(b *testing.B) {
+	data := wire.AppendStatuses(nil, benchStatusPage())
+	var page []wire.Status
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if page, err = wire.DecodeStatuses(data, page[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJSONDecodeStatusPage(b *testing.B) {
+	data := wire.AppendStatuses(nil, benchStatusPage())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var page []wire.Status
+		if err := json.Unmarshal(data, &page); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWireEncodeInstanceInfo(b *testing.B) {
+	info := benchInstanceInfo()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendInstanceInfo(buf[:0], info)
+	}
+}
+
+func BenchmarkAblationJSONEncodeInstanceInfo(b *testing.B) {
+	info := benchInstanceInfo()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWireDecodeInstanceInfo(b *testing.B) {
+	data := wire.AppendInstanceInfo(nil, benchInstanceInfo())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var info wire.InstanceInfo
+		if err := wire.DecodeInstanceInfo(data, &info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJSONDecodeInstanceInfo(b *testing.B) {
+	data := wire.AppendInstanceInfo(nil, benchInstanceInfo())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var info wire.InstanceInfo
+		if err := json.Unmarshal(data, &info); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWireEncodeActivity(b *testing.B) {
+	a := benchActivity()
+	var buf []byte
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = wire.AppendActivity(buf[:0], a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJSONEncodeActivity(b *testing.B) {
+	a := benchActivity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWireDecodeActivity(b *testing.B) {
+	data, err := benchActivity().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a wire.Activity
+		if err := wire.UnmarshalActivity(data, &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJSONDecodeActivity(b *testing.B) {
+	data, err := benchActivity().Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a wire.Activity
+		if err := json.Unmarshal(data, &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Page cache ablations (DESIGN.md): the instance server's cached
+// response bytes vs re-rendering every page per request.
+
+func benchPageServer(b *testing.B, disableCache bool) *instance.Server {
+	b.Helper()
+	s := instance.NewServer(instance.Config{Domain: "bench.test", Open: true, DisablePageCache: disableCache}, nil)
+	if _, err := s.CreateAccount("alice", false, false, dataset.Day(0)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		var tags []string
+		if i%5 == 0 {
+			tags = []string{"fediverse"}
+		}
+		if _, err := s.PostToot(context.Background(), "alice", fmt.Sprintf("toot %d", i), tags, dataset.Day(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		err := s.Receive(context.Background(), &federation.Activity{
+			Type:   federation.TypeFollow,
+			From:   federation.Actor{User: fmt.Sprintf("f%d", i), Domain: fmt.Sprintf("far-%02d.test", i%7)},
+			Target: federation.Actor{User: "alice", Domain: "bench.test"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func benchServePage(b *testing.B, s *instance.Server, path string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Host = "bench.test"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkAblationTimelineCached(b *testing.B) {
+	benchServePage(b, benchPageServer(b, false), "/api/v1/timelines/public?local=true&limit=40")
+}
+
+func BenchmarkAblationTimelineRerendered(b *testing.B) {
+	benchServePage(b, benchPageServer(b, true), "/api/v1/timelines/public?local=true&limit=40")
+}
+
+func BenchmarkAblationFollowersCached(b *testing.B) {
+	benchServePage(b, benchPageServer(b, false), "/users/alice/followers")
+}
+
+func BenchmarkAblationFollowersRerendered(b *testing.B) {
+	benchServePage(b, benchPageServer(b, true), "/users/alice/followers")
+}
+
+func BenchmarkAblationInstanceInfoCached(b *testing.B) {
+	benchServePage(b, benchPageServer(b, false), "/api/v1/instance")
+}
+
+func BenchmarkAblationInstanceInfoRerendered(b *testing.B) {
+	benchServePage(b, benchPageServer(b, true), "/api/v1/instance")
+}
+
+// Follower-page parsing: the wire scanner against the regex baseline it
+// replaced (crawler.ParseFollowerPageRegexp — the specification the
+// scanner is fuzzed against).
+func benchFollowerPage() []byte {
+	actors := make([]wire.Actor, 40)
+	for i := range actors {
+		actors[i] = wire.Actor{User: fmt.Sprintf("f%d", i), Domain: fmt.Sprintf("far-%02d.test", i%7)}
+	}
+	return wire.AppendFollowerPage(nil, "alice", actors, 1, true)
+}
+
+func BenchmarkAblationWireScanFollowerPage(b *testing.B) {
+	page := benchFollowerPage()
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		wire.ScanFollowerPage(page, func(domain, user []byte) { n++ })
+		if n != 40 || !wire.FollowerPageHasNext(page) {
+			b.Fatal("scan lost followers")
+		}
+	}
+}
+
+func BenchmarkAblationRegexpScanFollowerPage(b *testing.B) {
+	page := benchFollowerPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if edges, hasNext := crawler.ParseFollowerPageRegexp("alice@bench.test", page); len(edges) != 40 || !hasNext {
+			b.Fatal("regex lost followers")
+		}
+	}
+}
 
 // Homophily strength: how country bias shapes the Fig 6 concentration.
 func benchHomophily(b *testing.B, countryBias float64) {

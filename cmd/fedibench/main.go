@@ -6,31 +6,74 @@
 //
 //	fedibench -scale small                # generate and run everything
 //	fedibench -world world.fedi -run fig12,tab1
+//	fedibench -cpuprofile cpu.out -memprofile mem.out -run fig12
+//
+// The profile flags snapshot pprof data over the run, so a codec or sweep
+// regression can be diagnosed from a production-shaped workload without
+// editing code: `go tool pprof cpu.out`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the exit code instead of calling os.Exit directly, so
+// the deferred profile writers always run.
+func realMain() int {
 	scale := flag.String("scale", "small", "world scale when generating: tiny | small | paper")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	worldFile := flag.String("world", "", "load a world file instead of generating")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all); see -list")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedibench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fedibench:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fedibench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var w *dataset.World
@@ -42,27 +85,28 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedibench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *run == "" {
 		if err := core.RunAll(w, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fedibench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	for _, id := range strings.Split(*run, ",") {
 		e, err := core.Find(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedibench:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Printf("==== %s — %s\n", e.ID, e.Title)
 		if err := e.Run(w, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fedibench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
+	return 0
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/vclock"
@@ -104,47 +105,86 @@ func (c *Client) backoff() time.Duration {
 	return 50 * time.Millisecond
 }
 
+// maxBodyBytes caps how much of a response body a fetch will read; the
+// rest is silently discarded, like the io.LimitReader cap it replaced.
+const maxBodyBytes = 8 << 20
+
+// bodyPool recycles response-body buffers across fetches: one buffer per
+// in-flight request instead of a fresh io.ReadAll allocation each time.
+var bodyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// maxPooledBuf caps what goes back into the pool: a rare near-limit body
+// must not pin megabytes under a worker for the rest of a crawl.
+const maxPooledBuf = 1 << 20
+
+// getBuf / putBuf wrap the pool for call sites that hold a buffer across a
+// paging loop.
+func getBuf() *[]byte { return bodyPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte, last []byte) {
+	if last != nil {
+		*bp = last[:0] // keep the grown backing array
+	}
+	if cap(*bp) > maxPooledBuf {
+		return // drop oversized buffers instead of pooling them
+	}
+	bodyPool.Put(bp)
+}
+
 // Get fetches path from domain, returning the body. It rate-limits,
 // retries retryable failures with exponential backoff, and honours ctx.
 func (c *Client) Get(ctx context.Context, domain, path string) ([]byte, error) {
+	return c.GetBuffered(ctx, domain, path, nil)
+}
+
+// GetBuffered is Get with an explicit reusable buffer: the body is read
+// into buf[:0] and the (possibly grown) slice returned, so a paging loop
+// pays for one buffer, not one allocation per page. The returned slice
+// aliases buf; callers must copy anything they keep.
+func (c *Client) GetBuffered(ctx context.Context, domain, path string, buf []byte) ([]byte, error) {
 	clk := vclock.OrSystem(c.Clock)
 	var lastErr error
 	backoff := c.backoff()
 	for attempt := 0; attempt < c.retries(); attempt++ {
 		if attempt > 0 {
 			if err := clk.Sleep(ctx, backoff); err != nil {
-				return nil, err
+				return buf, err
 			}
 			backoff *= 2
 		}
 		if c.Limiter != nil {
 			if err := c.Limiter.Wait(ctx, domain); err != nil {
-				return nil, err
+				return buf, err
 			}
 		}
-		body, err := c.getOnce(ctx, domain, path)
+		body, err := c.getOnce(ctx, domain, path, buf)
+		buf = body[:0]
 		if err == nil {
 			return body, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return buf, ctx.Err()
 		}
 		if !retryable(err) {
-			return nil, err
+			return buf, err
 		}
 	}
-	return nil, lastErr
+	return buf, lastErr
 }
 
-func (c *Client) getOnce(ctx context.Context, domain, path string) ([]byte, error) {
+func (c *Client) getOnce(ctx context.Context, domain, path string, buf []byte) ([]byte, error) {
+	buf = buf[:0]
 	base := "http://" + domain
 	if c.Resolve != nil {
 		base = c.Resolve(domain)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
-		return nil, err
+		return buf, err
 	}
 	req.Host = domain
 	if c.UserAgent != "" {
@@ -152,26 +192,54 @@ func (c *Client) getOnce(ctx context.Context, domain, path string) ([]byte, erro
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return buf, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, &StatusError{Domain: domain, Path: path, Code: resp.StatusCode}
+		return buf, &StatusError{Domain: domain, Path: path, Code: resp.StatusCode}
 	}
-	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	return readBody(resp.Body, buf)
 }
 
-// GetJSON fetches and decodes a JSON document.
+// readBody appends the reader's content to buf up to maxBodyBytes.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) >= maxBodyBytes {
+			return buf, nil
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		end := cap(buf)
+		if end > maxBodyBytes {
+			end = maxBodyBytes
+		}
+		n, err := r.Read(buf[len(buf):end])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// GetJSON fetches and decodes a JSON document through a pooled buffer.
+// The hot paths (monitor, toot crawler, discoverer, follower scraper) use
+// the internal/wire decoders instead; this reflective variant remains for
+// ad-hoc shapes.
 func (c *Client) GetJSON(ctx context.Context, domain, path string, v any) error {
-	body, err := c.Get(ctx, domain, path)
-	if err != nil {
-		return err
+	bp := getBuf()
+	body, err := c.GetBuffered(ctx, domain, path, *bp)
+	if err == nil {
+		if uerr := json.Unmarshal(body, v); uerr != nil {
+			err = fmt.Errorf("crawler: %s%s: bad JSON: %w", domain, path, uerr)
+		}
 	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("crawler: %s%s: bad JSON: %w", domain, path, err)
-	}
-	return nil
+	putBuf(bp, body)
+	return err
 }
 
 // forEach runs fn over items with at most workers goroutines, stopping early

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sort"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // Discoverer performs snowball instance discovery: starting from seed
@@ -41,8 +43,14 @@ func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
 	for len(frontier) > 0 && ctx.Err() == nil {
 		next := make(map[string]struct{})
 		forEach(ctx, frontier, workers, func(ctx context.Context, domain string) error {
+			bp := getBuf()
+			body, err := d.Client.GetBuffered(ctx, domain, "/api/v1/instance/peers", *bp)
 			var peers []string
-			if err := d.Client.GetJSON(ctx, domain, "/api/v1/instance/peers", &peers); err != nil {
+			if err == nil {
+				peers, err = wire.DecodePeers(body, nil)
+			}
+			putBuf(bp, body)
+			if err != nil {
 				return err
 			}
 			mu.Lock()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"regexp"
 	"sort"
+
+	"repro/internal/wire"
 )
 
 // Edge is one follower relationship: From follows To (both user@domain).
@@ -23,17 +25,18 @@ type FollowerScraper struct {
 
 // followerLink matches the anchor tags of a follower page. The page format
 // is the one Mastodon renders; parsing is anchored on the follower class so
-// navigation links are not mistaken for followers.
+// navigation links are not mistaken for followers. The regexes are the
+// specification; the live path below runs wire's hand-rolled scanner,
+// which the FuzzFollowerPageScan differential target holds against them.
 var followerLink = regexp.MustCompile(`<a class="follower" href="https?://([^/"]+)/users/([^/"]+)"`)
 
 // nextLink matches the rel=next pagination anchor.
 var nextLink = regexp.MustCompile(`<a rel="next" href="[^"]*page=(\d+)"`)
 
-// ParseFollowerPage extracts follower→acct edges from one HTML follower
-// page and reports whether the page links a next page. It never fails:
-// unparseable markup simply yields no edges, matching how a scraper treats
-// a mangled page.
-func ParseFollowerPage(acct string, body []byte) (edges []Edge, hasNext bool) {
+// ParseFollowerPageRegexp is the original regex-based parser, kept as the
+// differential-fuzz baseline and the codec-ablation benchmark side — the
+// one place the specification regexes are executed.
+func ParseFollowerPageRegexp(acct string, body []byte) (edges []Edge, hasNext bool) {
 	for _, m := range followerLink.FindAllSubmatch(body, -1) {
 		edges = append(edges, Edge{
 			From: string(m[2]) + "@" + string(m[1]),
@@ -41,6 +44,22 @@ func ParseFollowerPage(acct string, body []byte) (edges []Edge, hasNext bool) {
 		})
 	}
 	return edges, nextLink.Find(body) != nil
+}
+
+// ParseFollowerPage extracts follower→acct edges from one HTML follower
+// page and reports whether the page links a next page. It never fails:
+// unparseable markup simply yields no edges, matching how a scraper treats
+// a mangled page. The follower strings are copied out, so body may be a
+// reused buffer.
+func ParseFollowerPage(acct string, body []byte) (edges []Edge, hasNext bool) {
+	wire.ScanFollowerPage(body, func(domain, user []byte) {
+		b := make([]byte, 0, len(user)+1+len(domain))
+		b = append(b, user...)
+		b = append(b, '@')
+		b = append(b, domain...)
+		edges = append(edges, Edge{From: string(b), To: acct})
+	})
+	return edges, wire.FollowerPageHasNext(body)
 }
 
 // ScrapeAccount collects every follower of acct (user@domain). It returns
@@ -51,13 +70,19 @@ func (fs *FollowerScraper) ScrapeAccount(ctx context.Context, acct string) ([]Ed
 		return nil, fmt.Errorf("crawler: malformed acct %q", acct)
 	}
 	var edges []Edge
+	bp := getBuf()
+	var body []byte
+	var err error
+	defer func() { putBuf(bp, body) }()
 	page := 1
 	for {
 		if fs.MaxPages > 0 && page > fs.MaxPages {
 			return edges, nil
 		}
 		path := fmt.Sprintf("/users/%s/followers?page=%d", user, page)
-		body, err := fs.Client.Get(ctx, domain, path)
+		// GetBuffered always returns the current (possibly regrown) buffer.
+		body, err = fs.Client.GetBuffered(ctx, domain, path, (*bp)[:0])
+		*bp = body[:0]
 		if err != nil {
 			return edges, err
 		}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/federation"
 	"repro/internal/instance"
+	"repro/internal/wire"
 )
 
 // Fuzz targets for the crawler's parsers: the follower-page HTML scraper
@@ -139,26 +140,50 @@ func FuzzDecodeStatuses(f *testing.F) {
 
 // FuzzInstanceInfo pins the /api/v1/instance decoder: arbitrary bytes
 // either fail or decode to a document that survives a re-encode/decode
-// cycle unchanged (no lossy fields, no panics).
+// cycle unchanged (no lossy fields, no panics). The probe's live decoder
+// is internal/wire's; its agreement with encoding/json is pinned by the
+// differential targets in that package.
 func FuzzInstanceInfo(f *testing.F) {
 	f.Add([]byte(`{"uri":"a.test","version":"2.4.0","registrations":true,"stats":{"user_count":5,"status_count":17,"domain_count":3}}`))
 	f.Add([]byte(`{"stats":{"user_count":-1}}`))
 	f.Add([]byte(`{}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var info monitorInfo
-		if err := json.Unmarshal(data, &info); err != nil {
+		var info wire.InstanceInfo
+		if err := wire.DecodeInstanceInfo(data, &info); err != nil {
 			t.Skip("not an instance document")
 		}
-		out, err := json.Marshal(info)
-		if err != nil {
-			t.Fatalf("re-encode failed: %v", err)
-		}
-		var again monitorInfo
-		if err := json.Unmarshal(out, &again); err != nil {
+		out := wire.AppendInstanceInfo(nil, &info)
+		var again wire.InstanceInfo
+		if err := wire.DecodeInstanceInfo(out, &again); err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if !reflect.DeepEqual(info, again) {
 			t.Fatalf("decoder is lossy:\n first %+v\n again %+v", info, again)
+		}
+	})
+}
+
+// FuzzFollowerPageScan holds the wire follower-page scanner against the
+// original regexes on arbitrary bytes: same edges in the same order, same
+// next-page verdict.
+func FuzzFollowerPageScan(f *testing.F) {
+	f.Add([]byte(`<html><body><ul>
+<li><a class="follower" href="https://b.test/users/u7">u7@b.test</a></li>
+</ul><a rel="next" href="/users/alice/followers?page=2">next</a></body></html>`))
+	f.Add([]byte(`<a class="follower" href="http://x.test/users/a"`))
+	f.Add([]byte(`<a class="follower" href="https:///users/a" <a class="follower" href="http://y/users/b"`))
+	f.Add([]byte(`<a rel="next" href="page=page=3"`))
+	f.Add([]byte(`<a rel="next" href="?page=12x"`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const acct = "alice@a.test"
+		got, gotNext := ParseFollowerPage(acct, body)
+		want, wantNext := ParseFollowerPageRegexp(acct, body)
+		if gotNext != wantNext {
+			t.Fatalf("hasNext: scanner %v, regex %v", gotNext, wantNext)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("edges diverge:\n scanner %v\n regex   %v", got, want)
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 // Sample is one probe datapoint: what mnm.social recorded for one instance
@@ -37,19 +38,11 @@ type Monitor struct {
 	Now func() time.Time
 }
 
-type monitorInfo struct {
-	URI           string `json:"uri"`
-	Version       string `json:"version"`
-	Registrations bool   `json:"registrations"`
-	Stats         struct {
-		UserCount   int   `json:"user_count"`
-		StatusCount int64 `json:"status_count"`
-		DomainCount int   `json:"domain_count"`
-	} `json:"stats"`
-}
-
 // PollOnce probes every domain once, concurrently, and returns one sample
-// per domain (offline instances yield Online=false samples).
+// per domain (offline instances yield Online=false samples). Each worker
+// fetches through a pooled body buffer and the internal/wire instance-info
+// decoder — the probe loop runs hundreds of thousands of times per
+// campaign and never touches encoding/json.
 func (m *Monitor) PollOnce(ctx context.Context) []Sample {
 	now := vclock.OrSystem(m.Clock).Now
 	if m.Now != nil {
@@ -67,15 +60,20 @@ func (m *Monitor) PollOnce(ctx context.Context) []Sample {
 	forEach(ctx, idx, workers, func(ctx context.Context, i int) error {
 		domain := m.Domains[i]
 		s := Sample{Domain: domain, At: now()}
-		var info monitorInfo
-		if err := m.Client.GetJSON(ctx, domain, "/api/v1/instance", &info); err == nil {
-			s.Online = true
-			s.Users = info.Stats.UserCount
-			s.Toots = info.Stats.StatusCount
-			s.Peers = info.Stats.DomainCount
-			s.Open = info.Registrations
-			s.Version = info.Version
+		bp := getBuf()
+		body, err := m.Client.GetBuffered(ctx, domain, "/api/v1/instance", *bp)
+		if err == nil {
+			var info wire.InstanceInfo
+			if err := wire.DecodeInstanceInfo(body, &info); err == nil {
+				s.Online = true
+				s.Users = info.Stats.UserCount
+				s.Toots = info.Stats.StatusCount
+				s.Peers = info.Stats.DomainCount
+				s.Open = info.Registrations
+				s.Version = info.Version
+			}
 		}
+		putBuf(bp, body)
 		samples[i] = s
 		return nil
 	})

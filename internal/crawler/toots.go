@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // TootRec is one harvested toot: the fields the paper collected (username,
@@ -41,23 +43,12 @@ type TootCrawler struct {
 	Local    bool // crawl the local timeline (true) or federated (false)
 }
 
-type wireStatus struct {
-	ID        string `json:"id"`
-	CreatedAt string `json:"created_at"`
-	Content   string `json:"content"`
-	Account   struct {
-		Acct string `json:"acct"`
-	} `json:"account"`
-	Reblog *struct {
-		URI string `json:"uri"`
-	} `json:"reblog"`
-	Tags []struct {
-		Name string `json:"name"`
-	} `json:"tags"`
-}
+// wireStatus is the status wire shape, decoded by internal/wire.
+type wireStatus = wire.Status
 
 // CrawlInstance harvests one instance's entire toot history by paging
-// max_id backwards until the beginning of time.
+// max_id backwards until the beginning of time. One pooled body buffer and
+// one status-page slice are reused across the whole paging loop.
 func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) InstanceCrawl {
 	out := InstanceCrawl{Domain: domain}
 	pageSize := tc.PageSize
@@ -68,14 +59,27 @@ func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) Instanc
 	if tc.Local {
 		local = "true"
 	}
+	bp := getBuf()
+	var body []byte
+	defer func() { putBuf(bp, body) }()
+	var page []wireStatus
 	var maxID int64
+	base := "/api/v1/timelines/public?local=" + local + "&limit=" + strconv.Itoa(pageSize)
 	for {
-		path := fmt.Sprintf("/api/v1/timelines/public?local=%s&limit=%d", local, pageSize)
+		path := base
 		if maxID > 0 {
 			path += "&max_id=" + strconv.FormatInt(maxID, 10)
 		}
-		var page []wireStatus
-		if err := tc.Client.GetJSON(ctx, domain, path, &page); err != nil {
+		var err error
+		// GetBuffered always returns the current (possibly regrown) buffer.
+		body, err = tc.Client.GetBuffered(ctx, domain, path, (*bp)[:0])
+		*bp = body[:0]
+		if err == nil {
+			if page, err = wire.DecodeStatuses(body, page[:0]); err != nil {
+				err = fmt.Errorf("crawler: %s%s: bad JSON: %w", domain, path, err)
+			}
+		}
+		if err != nil {
 			var se *StatusError
 			switch {
 			case asStatusError(err, &se) && se.Code == 403:

@@ -12,13 +12,17 @@
 package federation
 
 import (
-	"encoding/json"
 	"fmt"
-	"time"
+
+	"repro/internal/wire"
 )
 
+// The wire shapes (and their hand-rolled codecs) live in internal/wire so
+// the instance server and the crawler can share them without importing the
+// protocol layer; the aliases below keep this package the canonical name.
+
 // ActivityType enumerates the wire activity kinds.
-type ActivityType string
+type ActivityType = wire.ActivityType
 
 // The supported activity kinds.
 const (
@@ -29,13 +33,7 @@ const (
 )
 
 // Actor identifies an account as user@domain.
-type Actor struct {
-	User   string `json:"user"`
-	Domain string `json:"domain"`
-}
-
-// String renders the canonical user@domain form.
-func (a Actor) String() string { return a.User + "@" + a.Domain }
+type Actor = wire.Actor
 
 // ParseActor parses user@domain.
 func ParseActor(s string) (Actor, error) {
@@ -51,56 +49,11 @@ func ParseActor(s string) (Actor, error) {
 }
 
 // Note is the content payload of a Create activity (a toot on the wire).
-type Note struct {
-	ID        string    `json:"id"`
-	Author    Actor     `json:"author"`
-	Content   string    `json:"content"`
-	Hashtags  []string  `json:"hashtags,omitempty"`
-	CreatedAt time.Time `json:"created_at"`
-}
+type Note = wire.Note
 
-// Activity is the federation envelope.
-type Activity struct {
-	Type   ActivityType `json:"type"`
-	From   Actor        `json:"from"`             // initiating account
-	Target Actor        `json:"target,omitempty"` // followed/unfollowed account
-	Note   *Note        `json:"note,omitempty"`   // payload for Create/Announce
-}
-
-// Validate checks structural invariants before an activity is accepted.
-func (a *Activity) Validate() error {
-	if a.From.User == "" || a.From.Domain == "" {
-		return fmt.Errorf("federation: %s activity without a from actor", a.Type)
-	}
-	switch a.Type {
-	case TypeFollow, TypeUndo:
-		if a.Target.User == "" || a.Target.Domain == "" {
-			return fmt.Errorf("federation: %s activity without a target", a.Type)
-		}
-	case TypeCreate, TypeBoost:
-		if a.Note == nil {
-			return fmt.Errorf("federation: %s activity without a note", a.Type)
-		}
-		if a.Note.ID == "" {
-			return fmt.Errorf("federation: note without id")
-		}
-	default:
-		return fmt.Errorf("federation: unknown activity type %q", a.Type)
-	}
-	return nil
-}
-
-// Encode serialises the activity to JSON.
-func (a *Activity) Encode() ([]byte, error) { return json.Marshal(a) }
+// Activity is the federation envelope. Encode and Validate are declared on
+// the wire type; DecodeActivity below is the matching entry point.
+type Activity = wire.Activity
 
 // DecodeActivity parses and validates a wire activity.
-func DecodeActivity(data []byte) (*Activity, error) {
-	var a Activity
-	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("federation: bad activity: %w", err)
-	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	return &a, nil
-}
+func DecodeActivity(data []byte) (*Activity, error) { return wire.DecodeActivity(data) }

@@ -1,61 +1,106 @@
 package instance
 
 import (
-	"encoding/json"
-	"fmt"
-	"html"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/federation"
+	"repro/internal/wire"
 )
 
 // This file is the HTTP face of a Server: the instance metadata API that
 // mnm.social polled every five minutes, the paged public-timeline API the
 // toot crawler consumed, the HTML follower pages the graph crawler scraped,
 // the homepage used as the availability probe, and the federation inbox.
+//
+// Every GET endpoint renders through a per-page byte cache: responses are
+// encoded once with the internal/wire append codecs and replayed verbatim
+// until a mutation (new toot, new follower, inbox delivery, stats change)
+// bumps the server's page generation. A crawler hammering a quiet instance
+// — the §3 steady state — costs one buffer write per request, no JSON
+// encoder, no reflection.
 
-// instanceInfo is the /api/v1/instance JSON document (§3's monitored
-// fields).
-type instanceInfo struct {
-	URI           string       `json:"uri"`
-	Title         string       `json:"title"`
-	Version       string       `json:"version"`
-	Registrations bool         `json:"registrations"`
-	Stats         instanceStat `json:"stats"`
+// pageKey identifies one cacheable rendered response.
+type pageKey struct {
+	kind byte   // 'h' home, 'i' instance API, 'p' peers, 't' timeline, 'f' followers
+	name string // follower pages: the account
+	a, b int64  // timeline: maxID, limit; followers: page number
 }
 
-type instanceStat struct {
-	UserCount     int   `json:"user_count"`
-	StatusCount   int64 `json:"status_count"`
-	DomainCount   int   `json:"domain_count"`
-	RemoteFollows int   `json:"remote_follows"`
+type pageEntry struct {
+	gen  uint64
+	body []byte
 }
 
-// statusJSON is the wire form of a toot, a faithful subset of Mastodon's
-// Status entity.
-type statusJSON struct {
-	ID        string      `json:"id"`
-	CreatedAt string      `json:"created_at"`
-	Content   string      `json:"content"`
-	Account   accountJSON `json:"account"`
-	Reblog    *reblogJSON `json:"reblog,omitempty"`
-	Tags      []tagJSON   `json:"tags,omitempty"`
+// maxCachedPages bounds the per-server cache; overflow resets it (the keys
+// in play rebuild on the next pass).
+const maxCachedPages = 4096
+
+// pageCache holds rendered pages, each stamped with the generation that
+// was current before its render started. A lookup only hits when the
+// entry's generation still is the server's: any mutation invalidates every
+// page at the cost of one atomic increment.
+type pageCache struct {
+	gen     atomic.Uint64
+	mu      sync.Mutex
+	entries map[pageKey]pageEntry
 }
 
-type accountJSON struct {
-	Username string `json:"username"`
-	Acct     string `json:"acct"`
+func (c *pageCache) invalidate() { c.gen.Add(1) }
+
+func (c *pageCache) get(key pageKey, g uint64) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok && e.gen == g {
+		return e.body, true
+	}
+	return nil, false
 }
 
-type reblogJSON struct {
-	URI string `json:"uri"`
+func (c *pageCache) put(key pageKey, g uint64, body []byte) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[pageKey]pageEntry)
+	} else if len(c.entries) >= maxCachedPages {
+		clear(c.entries)
+	}
+	// Never clobber a page rendered under a newer generation: a renderer
+	// that raced a mutation holds the older stamp and must lose.
+	if e, ok := c.entries[key]; !ok || e.gen <= g {
+		c.entries[key] = pageEntry{gen: g, body: body}
+	}
+	c.mu.Unlock()
 }
 
-type tagJSON struct {
-	Name string `json:"name"`
+// pageBufPool recycles render buffers for the uncached (ablation) path.
+var pageBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// servePage writes one cacheable response: a cache hit replays stored
+// bytes; a miss renders under the generation read before any state, so a
+// concurrent mutation can only strand the entry stale, never serve stale.
+func (s *Server) servePage(w http.ResponseWriter, ctype string, key pageKey, render func(dst []byte) []byte) {
+	w.Header().Set("Content-Type", ctype)
+	if s.cfg.DisablePageCache {
+		bp := pageBufPool.Get().(*[]byte)
+		b := render((*bp)[:0])
+		w.Write(b)
+		*bp = b[:0]
+		pageBufPool.Put(bp)
+		return
+	}
+	g := s.pages.gen.Load()
+	if body, ok := s.pages.get(key, g); ok {
+		w.Write(body)
+		return
+	}
+	body := render(nil)
+	s.pages.put(key, g, body)
+	w.Write(body)
 }
 
 // ServeHTTP implements http.Handler for one instance.
@@ -83,26 +128,36 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) serveHome(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1>"+
-		"<p>%d users, %d toots</p></body></html>",
-		html.EscapeString(st.Domain), html.EscapeString(st.Domain), st.Users, st.Statuses)
+	s.servePage(w, "text/html; charset=utf-8", pageKey{kind: 'h'}, func(dst []byte) []byte {
+		st := s.Stats()
+		dst = append(dst, "<html><head><title>"...)
+		dst = wire.AppendHTMLEscaped(dst, st.Domain)
+		dst = append(dst, "</title></head><body><h1>"...)
+		dst = wire.AppendHTMLEscaped(dst, st.Domain)
+		dst = append(dst, "</h1><p>"...)
+		dst = strconv.AppendInt(dst, int64(st.Users), 10)
+		dst = append(dst, " users, "...)
+		dst = strconv.AppendInt(dst, st.Statuses, 10)
+		return append(dst, " toots</p></body></html>"...)
+	})
 }
 
 func (s *Server) serveInstanceAPI(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
-	writeJSON(w, instanceInfo{
-		URI:           st.Domain,
-		Title:         st.Domain,
-		Version:       versionString(st),
-		Registrations: st.Open,
-		Stats: instanceStat{
-			UserCount:     st.Users,
-			StatusCount:   st.Statuses,
-			DomainCount:   st.Peers,
-			RemoteFollows: st.RemoteFollows,
-		},
+	s.servePage(w, "application/json; charset=utf-8", pageKey{kind: 'i'}, func(dst []byte) []byte {
+		st := s.Stats()
+		info := wire.InstanceInfo{
+			URI:           st.Domain,
+			Title:         st.Domain,
+			Version:       versionString(st),
+			Registrations: st.Open,
+			Stats: wire.InstanceStats{
+				UserCount:     st.Users,
+				StatusCount:   st.Statuses,
+				DomainCount:   st.Peers,
+				RemoteFollows: st.RemoteFollows,
+			},
+		}
+		return append(wire.AppendInstanceInfo(dst, &info), '\n')
 	})
 }
 
@@ -114,7 +169,9 @@ func versionString(st Stats) string {
 }
 
 func (s *Server) servePeers(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.subs.PeerDomains())
+	s.servePage(w, "application/json; charset=utf-8", pageKey{kind: 'p'}, func(dst []byte) []byte {
+		return append(wire.AppendPeers(dst, s.subs.PeerDomains()), '\n')
+	})
 }
 
 func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
@@ -148,26 +205,32 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	toots := s.PublicTimeline(kind, maxID, limit)
-	out := make([]statusJSON, len(toots))
-	for i, t := range toots {
-		out[i] = statusJSON{
-			ID:        strconv.FormatInt(t.ID, 10),
-			CreatedAt: t.CreatedAt.UTC().Format("2006-01-02T15:04:05.000Z"),
-			Content:   t.Content,
-			Account: accountJSON{
-				Username: t.Author.User,
-				Acct:     t.Author.String(),
-			},
-		}
-		if t.BoostOf != "" {
-			out[i].Reblog = &reblogJSON{URI: t.BoostOf}
-		}
-		for _, h := range t.Hashtags {
-			out[i].Tags = append(out[i].Tags, tagJSON{Name: h})
-		}
+	key := pageKey{kind: 't', a: maxID, b: int64(limit)}
+	if kind == TimelineLocal {
+		key.name = "local"
 	}
-	writeJSON(w, out)
+	s.servePage(w, "application/json; charset=utf-8", key, func(dst []byte) []byte {
+		toots := s.PublicTimeline(kind, maxID, limit)
+		page := make([]wire.Status, len(toots))
+		for i, t := range toots {
+			page[i] = wire.Status{
+				ID:        strconv.FormatInt(t.ID, 10),
+				CreatedAt: t.CreatedAt.UTC().Format("2006-01-02T15:04:05.000Z"),
+				Content:   t.Content,
+				Account: wire.StatusAccount{
+					Username: t.Author.User,
+					Acct:     t.Author.String(),
+				},
+			}
+			if t.BoostOf != "" {
+				page[i].Reblog = &wire.StatusReblog{URI: t.BoostOf}
+			}
+			for _, h := range t.Hashtags {
+				page[i].Tags = append(page[i].Tags, wire.StatusTag{Name: h})
+			}
+		}
+		return append(wire.AppendStatuses(dst, page), '\n')
+	})
 }
 
 func (s *Server) serveInbox(w http.ResponseWriter, r *http.Request) {
@@ -209,31 +272,18 @@ func (s *Server) serveFollowers(w http.ResponseWriter, r *http.Request) {
 		}
 		page = p
 	}
-	actors, hasNext, err := s.Followers(name, page, 40)
-	if err != nil {
+	// The existence check stays outside the cache so unknown accounts are
+	// 404s, not cached pages.
+	if s.Account(name) == nil {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprintf(w, "<html><body><h1>Followers of %s</h1><ul>\n", html.EscapeString(name))
-	for _, a := range actors {
-		fmt.Fprintf(w, `<li><a class="follower" href="https://%s/users/%s">%s</a></li>`+"\n",
-			html.EscapeString(a.Domain), html.EscapeString(a.User), html.EscapeString(a.String()))
-	}
-	fmt.Fprint(w, "</ul>\n")
-	if hasNext {
-		fmt.Fprintf(w, `<a rel="next" href="/users/%s/followers?page=%d">next</a>`+"\n",
-			html.EscapeString(name), page+1)
-	}
-	fmt.Fprint(w, "</body></html>")
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are already out; nothing useful to do beyond logging-level
-		// behaviour, which this server intentionally does not have.
-		_ = err
-	}
+	s.servePage(w, "text/html; charset=utf-8", pageKey{kind: 'f', name: name, a: int64(page)},
+		func(dst []byte) []byte {
+			actors, hasNext, err := s.Followers(name, page, 40)
+			if err != nil {
+				actors, hasNext = nil, false // account vanished mid-render
+			}
+			return wire.AppendFollowerPage(dst, name, actors, page, hasNext)
+		})
 }

@@ -28,6 +28,11 @@ type Config struct {
 	// MaxFederated bounds the federated timeline (oldest entries are
 	// dropped), like Mastodon's own timeline trimming. 0 means default.
 	MaxFederated int
+
+	// DisablePageCache turns off the rendered-response byte cache and
+	// re-encodes every page per request — the ablation baseline, never
+	// wanted in normal operation.
+	DisablePageCache bool
 }
 
 const defaultMaxFederated = 65536
@@ -74,6 +79,10 @@ type Server struct {
 	blocked   map[string]bool      // defederated domains (§7)
 
 	transport federation.Transport
+
+	// pages caches rendered HTTP responses; every visible mutation calls
+	// pages.invalidate() after the state change lands (see http.go).
+	pages pageCache
 }
 
 // NewServer creates an online server with the given transport (may be nil
@@ -152,6 +161,7 @@ func (s *Server) CreateAccount(name string, private, invited bool, at time.Time)
 	}
 	a := &Account{Name: name, CreatedAt: at, Private: private}
 	s.accounts[name] = a
+	s.pages.invalidate()
 	return a, nil
 }
 
@@ -222,6 +232,7 @@ func (s *Server) PostToot(ctx context.Context, author, content string, hashtags 
 	s.local = append(s.local, t)
 	s.appendFederatedLocked(t)
 	private := acct.Private
+	s.pages.invalidate()
 	s.mu.Unlock()
 
 	if !private {
@@ -260,6 +271,7 @@ func (s *Server) Boost(ctx context.Context, booster, noteID string, origAuthor f
 		NoteID:    fmt.Sprintf("%s/%d", s.cfg.Domain, s.nextID),
 	}
 	s.appendFederatedLocked(t)
+	s.pages.invalidate()
 	s.mu.Unlock()
 
 	s.push(ctx, booster, &federation.Activity{
@@ -307,6 +319,7 @@ func (s *Server) FollowLocal(follower, target string) error {
 	}
 	f.following++
 	t.followers = append(t.followers, federation.Actor{User: follower, Domain: s.cfg.Domain})
+	s.pages.invalidate()
 	return nil
 }
 
@@ -323,6 +336,7 @@ func (s *Server) FollowRemote(ctx context.Context, follower string, target feder
 	s.mu.Unlock()
 
 	s.subs.AddRemoteFollow(target)
+	s.pages.invalidate()
 	if s.transport == nil {
 		return nil
 	}
@@ -352,9 +366,11 @@ func (s *Server) Receive(ctx context.Context, a *federation.Activity) error {
 		t.followers = append(t.followers, a.From)
 		s.mu.Unlock()
 		s.subs.AddSubscriber(a.Target.User, a.From.Domain)
+		s.pages.invalidate()
 		return nil
 	case federation.TypeUndo:
 		s.subs.RemoveSubscriber(a.Target.User, a.From.Domain)
+		s.pages.invalidate()
 		return nil
 	case federation.TypeCreate, federation.TypeBoost:
 		s.mu.Lock()
@@ -372,6 +388,7 @@ func (s *Server) Receive(ctx context.Context, a *federation.Activity) error {
 			t.BoostOf = a.Note.ID
 		}
 		s.appendFederatedLocked(t)
+		s.pages.invalidate()
 		s.mu.Unlock()
 		return nil
 	}

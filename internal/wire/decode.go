@@ -1,0 +1,672 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// The streaming decoder: a single-pass JSON parser that agrees with
+// encoding/json on success/failure and, on success, on the decoded value.
+// Where encoding/json is lenient, so is this decoder:
+//
+//   - keys match struct fields exactly first, then case-insensitively
+//     under Unicode simple folding (strings.EqualFold), first field wins;
+//   - unknown fields are skipped with full syntax validation;
+//   - duplicate keys decode last-wins (merging, not replacing, nested
+//     structs — exactly the stdlib's in-place decode);
+//   - null is a no-op for strings, numbers, bools and structs, and sets
+//     pointers and slices to nil;
+//   - string escapes handle \uXXXX with surrogate-pair repair, and raw
+//     invalid UTF-8 is replaced with U+FFFD;
+//   - container nesting is capped at the stdlib's 10000.
+//
+// Unlike encoding/json the decoder streams: it stops at the first error
+// instead of pre-validating the whole document, so a failed decode may
+// leave the destination partially filled. All callers discard the
+// destination on error, and the differential fuzz targets compare decoded
+// values only when both decoders succeed (and demand errors agree).
+
+const maxNestingDepth = 10000
+
+type decoder struct {
+	data  []byte
+	off   int
+	depth int
+	// keyBuf is scratch for unescaping object keys (the rare
+	// escaped-key path); keys never allocate.
+	keyBuf []byte
+}
+
+func (d *decoder) syntaxErr(what string) error {
+	return fmt.Errorf("wire: invalid JSON: %s at offset %d", what, d.off)
+}
+
+func (d *decoder) typeErr(what string) error {
+	return fmt.Errorf("wire: cannot decode %s at offset %d", what, d.off)
+}
+
+func (d *decoder) skipSpace() {
+	for d.off < len(d.data) {
+		switch d.data[d.off] {
+		case ' ', '\t', '\n', '\r':
+			d.off++
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the first byte of the next token without consuming it.
+func (d *decoder) peek() (byte, error) {
+	d.skipSpace()
+	if d.off >= len(d.data) {
+		return 0, d.syntaxErr("unexpected end of input")
+	}
+	return d.data[d.off], nil
+}
+
+// end verifies nothing but whitespace remains.
+func (d *decoder) end() error {
+	d.skipSpace()
+	if d.off != len(d.data) {
+		return d.syntaxErr("trailing data after top-level value")
+	}
+	return nil
+}
+
+// lit consumes an exact literal (true/false/null).
+func (d *decoder) lit(s string) error {
+	if len(d.data)-d.off < len(s) || string(d.data[d.off:d.off+len(s)]) != s {
+		return d.syntaxErr("invalid literal")
+	}
+	d.off += len(s)
+	return nil
+}
+
+// readNumber validates JSON number grammar and returns the literal.
+func (d *decoder) readNumber() ([]byte, error) {
+	start := d.off
+	if d.off < len(d.data) && d.data[d.off] == '-' {
+		d.off++
+	}
+	switch {
+	case d.off >= len(d.data):
+		return nil, d.syntaxErr("incomplete number")
+	case d.data[d.off] == '0':
+		d.off++
+	case '1' <= d.data[d.off] && d.data[d.off] <= '9':
+		d.off++
+		for d.off < len(d.data) && '0' <= d.data[d.off] && d.data[d.off] <= '9' {
+			d.off++
+		}
+	default:
+		return nil, d.syntaxErr("invalid number")
+	}
+	if d.off < len(d.data) && d.data[d.off] == '.' {
+		d.off++
+		if d.off >= len(d.data) || d.data[d.off] < '0' || d.data[d.off] > '9' {
+			return nil, d.syntaxErr("invalid number fraction")
+		}
+		for d.off < len(d.data) && '0' <= d.data[d.off] && d.data[d.off] <= '9' {
+			d.off++
+		}
+	}
+	if d.off < len(d.data) && (d.data[d.off] == 'e' || d.data[d.off] == 'E') {
+		d.off++
+		if d.off < len(d.data) && (d.data[d.off] == '+' || d.data[d.off] == '-') {
+			d.off++
+		}
+		if d.off >= len(d.data) || d.data[d.off] < '0' || d.data[d.off] > '9' {
+			return nil, d.syntaxErr("invalid number exponent")
+		}
+		for d.off < len(d.data) && '0' <= d.data[d.off] && d.data[d.off] <= '9' {
+			d.off++
+		}
+	}
+	return d.data[start:d.off], nil
+}
+
+// scanString validates a string literal starting at the opening quote and
+// returns the raw bytes between the quotes plus whether they need the slow
+// unescape path (escapes or non-ASCII bytes).
+func (d *decoder) scanString() (raw []byte, simple bool, err error) {
+	// d.data[d.off] == '"', checked by the caller.
+	i := d.off + 1
+	simple = true
+	for i < len(d.data) {
+		c := d.data[i]
+		switch {
+		case c == '"':
+			raw = d.data[d.off+1 : i]
+			d.off = i + 1
+			return raw, simple, nil
+		case c == '\\':
+			simple = false
+			i++
+			if i >= len(d.data) {
+				return nil, false, d.syntaxErr("unterminated escape")
+			}
+			switch d.data[i] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				i++
+			case 'u':
+				i++
+				for k := 0; k < 4; k++ {
+					if i >= len(d.data) || !isHex(d.data[i]) {
+						return nil, false, d.syntaxErr("invalid \\u escape")
+					}
+					i++
+				}
+			default:
+				return nil, false, d.syntaxErr("invalid escape character")
+			}
+		case c < 0x20:
+			return nil, false, d.syntaxErr("control character in string literal")
+		case c >= utf8.RuneSelf:
+			simple = false
+			i++
+		default:
+			i++
+		}
+	}
+	return nil, false, d.syntaxErr("unterminated string literal")
+}
+
+func isHex(c byte) bool {
+	return '0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+func hexVal(c byte) rune {
+	switch {
+	case '0' <= c && c <= '9':
+		return rune(c - '0')
+	case 'a' <= c && c <= 'f':
+		return rune(c-'a') + 10
+	default:
+		return rune(c-'A') + 10
+	}
+}
+
+// getu4 decodes the four hex digits of a (pre-validated) \uXXXX escape at
+// s[0:6]; it returns -1 when s does not start with a full \uXXXX escape —
+// the signal the surrogate-pair repair uses, mirroring the stdlib.
+func getu4(s []byte) rune {
+	if len(s) < 6 || s[0] != '\\' || s[1] != 'u' {
+		return -1
+	}
+	var r rune
+	for _, c := range s[2:6] {
+		if !isHex(c) {
+			return -1
+		}
+		r = r*16 + hexVal(c)
+	}
+	return r
+}
+
+// unescapeAppend appends the decoded form of the raw (scanner-validated)
+// inside of a string literal to dst, exactly as encoding/json's unquote
+// does: escape sequences expand, lone surrogates and invalid UTF-8 become
+// U+FFFD.
+func unescapeAppend(dst, raw []byte) []byte {
+	r := 0
+	for r < len(raw) {
+		c := raw[r]
+		switch {
+		case c == '\\':
+			if raw[r+1] != 'u' {
+				switch raw[r+1] {
+				case '"', '\\', '/':
+					dst = append(dst, raw[r+1])
+				case 'b':
+					dst = append(dst, '\b')
+				case 'f':
+					dst = append(dst, '\f')
+				case 'n':
+					dst = append(dst, '\n')
+				case 'r':
+					dst = append(dst, '\r')
+				case 't':
+					dst = append(dst, '\t')
+				}
+				r += 2
+				continue
+			}
+			rr := getu4(raw[r:])
+			r += 6
+			if utf16.IsSurrogate(rr) {
+				rr1 := getu4(raw[r:])
+				if dec := utf16.DecodeRune(rr, rr1); dec != utf8.RuneError {
+					r += 6
+					dst = utf8.AppendRune(dst, dec)
+					continue
+				}
+				rr = utf8.RuneError
+			}
+			dst = utf8.AppendRune(dst, rr)
+		case c < utf8.RuneSelf:
+			dst = append(dst, c)
+			r++
+		default:
+			rr, size := utf8.DecodeRune(raw[r:])
+			r += size
+			dst = utf8.AppendRune(dst, rr) // utf8.RuneError for invalid bytes
+		}
+	}
+	return dst
+}
+
+// readString consumes and decodes a string literal.
+func (d *decoder) readString() (string, error) {
+	raw, simple, err := d.scanString()
+	if err != nil {
+		return "", err
+	}
+	if simple {
+		return string(raw), nil
+	}
+	return string(unescapeAppend(nil, raw)), nil
+}
+
+// readKey consumes a string literal and returns its decoded bytes without
+// allocating: simple keys alias the input, escaped keys reuse the
+// decoder's scratch buffer. The result is only valid until the next
+// readKey call.
+func (d *decoder) readKey() ([]byte, error) {
+	raw, simple, err := d.scanString()
+	if err != nil {
+		return nil, err
+	}
+	if simple {
+		return raw, nil
+	}
+	d.keyBuf = unescapeAppend(d.keyBuf[:0], raw)
+	return d.keyBuf, nil
+}
+
+// skipString consumes a string literal without building its value.
+func (d *decoder) skipString() error {
+	_, _, err := d.scanString()
+	return err
+}
+
+// skipValue consumes one syntactically valid value of any type.
+func (d *decoder) skipValue() error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '{':
+		return d.skipObject()
+	case '[':
+		return d.skipArray()
+	case '"':
+		return d.skipString()
+	case 't':
+		return d.lit("true")
+	case 'f':
+		return d.lit("false")
+	case 'n':
+		return d.lit("null")
+	case '-', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+		_, err := d.readNumber()
+		return err
+	default:
+		return d.syntaxErr("invalid value")
+	}
+}
+
+func (d *decoder) push() error {
+	d.depth++
+	if d.depth > maxNestingDepth {
+		return d.syntaxErr("exceeded max depth")
+	}
+	return nil
+}
+
+func (d *decoder) skipObject() error {
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.off++ // '{'
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == '}' {
+		d.off++
+		d.depth--
+		return nil
+	}
+	for {
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		if c != '"' {
+			return d.syntaxErr("object key must be a string")
+		}
+		if err := d.skipString(); err != nil {
+			return err
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		if c != ':' {
+			return d.syntaxErr("missing colon after object key")
+		}
+		d.off++
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		switch c {
+		case ',':
+			d.off++
+		case '}':
+			d.off++
+			d.depth--
+			return nil
+		default:
+			return d.syntaxErr("missing comma in object")
+		}
+	}
+}
+
+func (d *decoder) skipArray() error {
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.off++ // '['
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == ']' {
+		d.off++
+		d.depth--
+		return nil
+	}
+	for {
+		if err := d.skipValue(); err != nil {
+			return err
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		switch c {
+		case ',':
+			d.off++
+		case ']':
+			d.off++
+			d.depth--
+			return nil
+		default:
+			return d.syntaxErr("missing comma in array")
+		}
+	}
+}
+
+// object drives the key/value loop of a struct-shaped value. field is
+// called with each decoded key (valid only for the duration of the call —
+// it may alias the input or the decoder's scratch buffer) and must consume
+// the value (or return handled=false to have it skipped with validation
+// only). A null value in place of the object is a no-op; any other kind is
+// a type error.
+func (d *decoder) object(field func(key []byte) (handled bool, err error)) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c == 'n' {
+		return d.lit("null")
+	}
+	if c != '{' {
+		return d.typeErr("non-object into struct")
+	}
+	if err := d.push(); err != nil {
+		return err
+	}
+	d.off++
+	if c, err = d.peek(); err != nil {
+		return err
+	}
+	if c == '}' {
+		d.off++
+		d.depth--
+		return nil
+	}
+	for {
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		if c != '"' {
+			return d.syntaxErr("object key must be a string")
+		}
+		key, err := d.readKey()
+		if err != nil {
+			return err
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		if c != ':' {
+			return d.syntaxErr("missing colon after object key")
+		}
+		d.off++
+		handled, err := field(key)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+		}
+		if c, err = d.peek(); err != nil {
+			return err
+		}
+		switch c {
+		case ',':
+			d.off++
+		case '}':
+			d.off++
+			d.depth--
+			return nil
+		default:
+			return d.syntaxErr("missing comma in object")
+		}
+	}
+}
+
+// fieldIs matches a decoded key against a struct field's JSON name with
+// encoding/json's rules: exact match, else Unicode simple case folding.
+// Callers check exact matches for all fields before folded ones. Both
+// comparisons are allocation-free (the conversions do not escape).
+func fieldIs(key []byte, name string) bool {
+	return string(key) == name || strings.EqualFold(string(key), name)
+}
+
+// stringValue decodes a string-typed field: string stores, null is a
+// no-op, anything else is a type error.
+func (d *decoder) stringValue(dst *string) (bool, error) {
+	c, err := d.peek()
+	if err != nil {
+		return false, err
+	}
+	switch c {
+	case 'n':
+		return true, d.lit("null")
+	case '"':
+		s, err := d.readString()
+		if err != nil {
+			return false, err
+		}
+		*dst = s
+		return true, nil
+	default:
+		return false, d.typeErr("non-string into string field")
+	}
+}
+
+// intValue decodes an integer field with stdlib semantics: the literal
+// must parse as a base-10 integer of the destination's width, bits (so
+// floats, exponents and overflow are type errors), null is a no-op.
+func (d *decoder) intValue(dst *int64, bits int) (bool, error) {
+	c, err := d.peek()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case c == 'n':
+		return true, d.lit("null")
+	case c == '-' || '0' <= c && c <= '9':
+		lit, err := d.readNumber()
+		if err != nil {
+			return false, err
+		}
+		n, err := strconv.ParseInt(string(lit), 10, bits)
+		if err != nil {
+			return false, d.typeErr("number does not fit integer field")
+		}
+		*dst = n
+		return true, nil
+	default:
+		return false, d.typeErr("non-number into integer field")
+	}
+}
+
+func (d *decoder) intValueInt(dst *int) (bool, error) {
+	n := int64(*dst)
+	ok, err := d.intValue(&n, strconv.IntSize)
+	if err == nil && ok {
+		*dst = int(n)
+	}
+	return ok, err
+}
+
+// boolValue decodes a bool field: true/false store, null is a no-op.
+func (d *decoder) boolValue(dst *bool) (bool, error) {
+	c, err := d.peek()
+	if err != nil {
+		return false, err
+	}
+	switch c {
+	case 'n':
+		return true, d.lit("null")
+	case 't':
+		if err := d.lit("true"); err != nil {
+			return false, err
+		}
+		*dst = true
+		return true, nil
+	case 'f':
+		if err := d.lit("false"); err != nil {
+			return false, err
+		}
+		*dst = false
+		return true, nil
+	default:
+		return false, d.typeErr("non-bool into bool field")
+	}
+}
+
+// stringSliceValue decodes a []string field with the stdlib's exact slice
+// semantics: null sets nil, [] yields an empty non-nil slice, and existing
+// elements are decoded into in place (so a null element over a reused
+// backing array keeps the stale value, exactly like encoding/json when the
+// same key appears twice).
+func (d *decoder) stringSliceValue(dst *[]string) (bool, error) {
+	s := *dst
+	n := 0
+	handled, err := d.arrayValue(
+		func() { s, n = nil, -1 },
+		func() error {
+			if n >= len(s) {
+				s = append(s, "")
+			}
+			n++
+			_, err := d.stringValue(&s[n-1])
+			return err
+		})
+	if err != nil || !handled {
+		return handled, err
+	}
+	if n >= 0 {
+		s = s[:n]
+		if n == 0 {
+			s = []string{}
+		}
+	}
+	*dst = s
+	return true, nil
+}
+
+// arrayValue drives the element loop of an array-shaped value: elem is
+// called once per element and must consume it. null in place of the array
+// calls onNull; any non-array kind is a type error.
+func (d *decoder) arrayValue(onNull func(), elem func() error) (bool, error) {
+	c, err := d.peek()
+	if err != nil {
+		return false, err
+	}
+	switch c {
+	case 'n':
+		if err := d.lit("null"); err != nil {
+			return false, err
+		}
+		onNull()
+		return true, nil
+	case '[':
+		if err := d.push(); err != nil {
+			return false, err
+		}
+		d.off++
+		if c, err = d.peek(); err != nil {
+			return false, err
+		}
+		if c == ']' {
+			d.off++
+			d.depth--
+			return true, nil
+		}
+		for {
+			if err := elem(); err != nil {
+				return false, err
+			}
+			if c, err = d.peek(); err != nil {
+				return false, err
+			}
+			switch c {
+			case ',':
+				d.off++
+			case ']':
+				d.off++
+				d.depth--
+				return true, nil
+			default:
+				return false, d.syntaxErr("missing comma in array")
+			}
+		}
+	default:
+		return false, d.typeErr("non-array into slice field")
+	}
+}
+
+// rawValue consumes one syntactically valid value and returns its raw
+// bytes — what the stdlib hands to an UnmarshalJSON method.
+func (d *decoder) rawValue() ([]byte, error) {
+	if _, err := d.peek(); err != nil {
+		return nil, err
+	}
+	start := d.off
+	if err := d.skipValue(); err != nil {
+		return nil, err
+	}
+	return d.data[start:d.off], nil
+}

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Differential fuzz targets: every wire codec is held against
+// encoding/json in both directions. Decoders must agree with
+// json.Unmarshal on success/failure and, when both succeed, on the decoded
+// value; encoders must then reproduce json.Marshal byte for byte. The
+// committed corpora under testdata/fuzz/ are seeded from the crawler's
+// parser corpora and run as regression seeds on every plain `go test`.
+
+func agree(t *testing.T, werr, jerr error) bool {
+	t.Helper()
+	if (werr == nil) != (jerr == nil) {
+		t.Fatalf("error disagreement:\n wire %v\n json %v", werr, jerr)
+	}
+	return werr == nil
+}
+
+// FuzzInstanceInfoCodec pins the instance-info decoder and encoder against
+// the stdlib.
+func FuzzInstanceInfoCodec(f *testing.F) {
+	f.Add([]byte(`{"uri":"a.test","version":"2.4.0","registrations":true,"stats":{"user_count":5,"status_count":17,"domain_count":3}}`))
+	f.Add([]byte(`{"stats":{"user_count":-1}}`))
+	f.Add([]byte(`{"URI":"case.fold","Stats":{"User_Count":7}}`))
+	f.Add([]byte(`{"uri":"dup","uri":"wins"}`))
+	f.Add([]byte(`{"uri":"A😀\ud800","title":"<&>"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w, j InstanceInfo
+		if !agree(t, DecodeInstanceInfo(data, &w), json.Unmarshal(data, &j)) {
+			return
+		}
+		if !reflect.DeepEqual(w, j) {
+			t.Fatalf("decode diverges:\n wire %+v\n json %+v", w, j)
+		}
+		want, err := json.Marshal(&j)
+		if err != nil {
+			t.Fatalf("json re-encode: %v", err)
+		}
+		if got := AppendInstanceInfo(nil, &w); string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	})
+}
+
+// FuzzStatusesCodec pins the status-page decoder and encoder.
+func FuzzStatusesCodec(f *testing.F) {
+	f.Add([]byte(`[{"id":"17","created_at":"2018-05-01T10:00:00.000Z","content":"hi","account":{"acct":"a@b.test"},"tags":[{"name":"x"}]}]`))
+	f.Add([]byte(`[{"id":"9","created_at":"2018-05-01T10:00:00Z","account":{"acct":"u@v"},"reblog":{"uri":"w"}}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[null,{}]`))
+	f.Add([]byte(`[{"tags":[{"name":"a"}],"tags":[{}]}]`))
+	f.Add([]byte(`[{"reblog":{"uri":"a"},"reblog":null}]`))
+	f.Add([]byte(`[{"id":"007","created_at":"bogus"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var j []Status
+		w, werr := DecodeStatuses(data, nil)
+		if !agree(t, werr, json.Unmarshal(data, &j)) {
+			return
+		}
+		if !reflect.DeepEqual(w, j) {
+			t.Fatalf("decode diverges:\n wire %+v\n json %+v", w, j)
+		}
+		want, err := json.Marshal(j)
+		if err != nil {
+			t.Fatalf("json re-encode: %v", err)
+		}
+		if got := AppendStatuses(nil, w); string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	})
+}
+
+// FuzzPeersCodec pins the peers-list decoder and encoder.
+func FuzzPeersCodec(f *testing.F) {
+	f.Add([]byte(`["a.test","b.test"]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[null,"x"]`))
+	f.Add([]byte(`["𝄞","\udd1e","<&>"]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var j []string
+		w, werr := DecodePeers(data, nil)
+		if !agree(t, werr, json.Unmarshal(data, &j)) {
+			return
+		}
+		if !reflect.DeepEqual(w, j) {
+			t.Fatalf("decode diverges:\n wire %#v\n json %#v", w, j)
+		}
+		want, err := json.Marshal(j)
+		if err != nil {
+			t.Fatalf("json re-encode: %v", err)
+		}
+		if got := AppendPeers(nil, w); string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	})
+}
+
+// FuzzActivityCodec pins the federation-envelope decoder and encoder,
+// including the time.Time passthrough to the stdlib's strict RFC 3339
+// unmarshaler.
+func FuzzActivityCodec(f *testing.F) {
+	f.Add([]byte(`{"type":"Follow","from":{"user":"a","domain":"x"},"target":{"user":"b","domain":"y"}}`))
+	f.Add([]byte(`{"type":"Create","from":{"user":"a","domain":"x"},"note":{"id":"x/1","author":{"user":"a","domain":"x"},"content":"hi","hashtags":["h"],"created_at":"2018-05-01T10:00:00.25Z"}}`))
+	f.Add([]byte(`{"note":{"created_at":null}}`))
+	f.Add([]byte(`{"note":{"created_at":"not a time"}}`))
+	f.Add([]byte(`{"note":{"hashtags":["a"],"hashtags":[null]}}`))
+	f.Add([]byte(`{"Type":"Announce","NOTE":{"ID":"x"}}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w, j Activity
+		if !agree(t, UnmarshalActivity(data, &w), json.Unmarshal(data, &j)) {
+			return
+		}
+		if !reflect.DeepEqual(w, j) {
+			t.Fatalf("decode diverges:\n wire %+v\n json %+v", w, j)
+		}
+		want, jerr := json.Marshal(&j)
+		got, werr := AppendActivity(nil, &w)
+		if !agree(t, werr, jerr) {
+			return
+		}
+		if string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	})
+}
+
+// FuzzJSONString pins the string encoder against the stdlib on arbitrary
+// (including invalid-UTF-8) input.
+func FuzzJSONString(f *testing.F) {
+	f.Add("plain")
+	f.Add(`quotes " and \ back`)
+	f.Add("<script>&amp;</script>")
+	f.Add("control \x00\x1f\x7f tab\t nl\n")
+	f.Add("line sep   para  ")
+	f.Add("bad utf8 \xff\xfe and ok é")
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip("stdlib refused the string")
+		}
+		if got := AppendJSONString(nil, s); string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %q\n json %q", got, want)
+		}
+	})
+}
+
+// FuzzTimeAppend pins the hand-rolled time encoder (used inside
+// AppendActivity) against time.Time.MarshalJSON, including its strict
+// year/offset error cases.
+func FuzzTimeAppend(f *testing.F) {
+	f.Add(int64(1000), int64(0), 0)
+	f.Add(int64(-62135596800), int64(0), 0)   // year 1
+	f.Add(int64(253402300799), int64(5), 0)   // year 9999
+	f.Add(int64(253402300800), int64(0), 0)   // year 10000: must error
+	f.Add(int64(-62135596801), int64(0), 0)   // year 0 boundary
+	f.Add(int64(1000), int64(123456789), 330) // +05:30
+	f.Add(int64(1000), int64(0), -1440)       // -24:00: must error
+	f.Fuzz(func(t *testing.T, sec, nsec int64, offsetMin int) {
+		if offsetMin < -10000 || offsetMin > 10000 {
+			t.Skip("silly zone")
+		}
+		tm := time.Unix(sec, nsec).In(time.FixedZone("", offsetMin*60))
+		want, jerr := tm.MarshalJSON()
+		got, werr := appendTimeJSON(nil, tm)
+		if (werr == nil) != (jerr == nil) {
+			t.Fatalf("error disagreement: wire %v, json %v", werr, jerr)
+		}
+		if jerr == nil && string(got) != string(want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	})
+}

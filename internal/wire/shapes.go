@@ -1,0 +1,290 @@
+package wire
+
+// The JSON wire shapes of the instance HTTP surface. The structs carry
+// encoding/json tags so the differential fuzz targets can hold the codecs
+// against the stdlib; the hand-rolled paths below never use them.
+
+// InstanceInfo is the /api/v1/instance document (§3's monitored fields).
+type InstanceInfo struct {
+	URI           string        `json:"uri"`
+	Title         string        `json:"title"`
+	Version       string        `json:"version"`
+	Registrations bool          `json:"registrations"`
+	Stats         InstanceStats `json:"stats"`
+}
+
+// InstanceStats is the stats block of an InstanceInfo.
+type InstanceStats struct {
+	UserCount     int   `json:"user_count"`
+	StatusCount   int64 `json:"status_count"`
+	DomainCount   int   `json:"domain_count"`
+	RemoteFollows int   `json:"remote_follows"`
+}
+
+// Status is the wire form of a toot, a faithful subset of Mastodon's
+// Status entity.
+type Status struct {
+	ID        string        `json:"id"`
+	CreatedAt string        `json:"created_at"`
+	Content   string        `json:"content"`
+	Account   StatusAccount `json:"account"`
+	Reblog    *StatusReblog `json:"reblog,omitempty"`
+	Tags      []StatusTag   `json:"tags,omitempty"`
+}
+
+// StatusAccount identifies a toot's author.
+type StatusAccount struct {
+	Username string `json:"username"`
+	Acct     string `json:"acct"`
+}
+
+// StatusReblog marks a status as a boost of another note.
+type StatusReblog struct {
+	URI string `json:"uri"`
+}
+
+// StatusTag is one hashtag entry.
+type StatusTag struct {
+	Name string `json:"name"`
+}
+
+// AppendInstanceInfo appends the JSON document, byte-identical to
+// encoding/json's output for the same struct.
+func AppendInstanceInfo(dst []byte, v *InstanceInfo) []byte {
+	dst = append(dst, `{"uri":`...)
+	dst = AppendJSONString(dst, v.URI)
+	dst = append(dst, `,"title":`...)
+	dst = AppendJSONString(dst, v.Title)
+	dst = append(dst, `,"version":`...)
+	dst = AppendJSONString(dst, v.Version)
+	dst = append(dst, `,"registrations":`...)
+	dst = appendBool(dst, v.Registrations)
+	dst = append(dst, `,"stats":{"user_count":`...)
+	dst = appendInt(dst, int64(v.Stats.UserCount))
+	dst = append(dst, `,"status_count":`...)
+	dst = appendInt(dst, v.Stats.StatusCount)
+	dst = append(dst, `,"domain_count":`...)
+	dst = appendInt(dst, int64(v.Stats.DomainCount))
+	dst = append(dst, `,"remote_follows":`...)
+	dst = appendInt(dst, int64(v.Stats.RemoteFollows))
+	return append(dst, '}', '}')
+}
+
+// DecodeInstanceInfo decodes data into v with encoding/json's semantics.
+// On error v may be partially filled.
+func DecodeInstanceInfo(data []byte, v *InstanceInfo) error {
+	d := &decoder{data: data}
+	if err := d.object(func(key []byte) (bool, error) {
+		switch {
+		case fieldIs(key, "uri"):
+			return d.stringValue(&v.URI)
+		case fieldIs(key, "title"):
+			return d.stringValue(&v.Title)
+		case fieldIs(key, "version"):
+			return d.stringValue(&v.Version)
+		case fieldIs(key, "registrations"):
+			return d.boolValue(&v.Registrations)
+		case fieldIs(key, "stats"):
+			return true, d.object(func(key []byte) (bool, error) {
+				switch {
+				case fieldIs(key, "user_count"):
+					return d.intValueInt(&v.Stats.UserCount)
+				case fieldIs(key, "status_count"):
+					return d.intValue(&v.Stats.StatusCount, 64)
+				case fieldIs(key, "domain_count"):
+					return d.intValueInt(&v.Stats.DomainCount)
+				case fieldIs(key, "remote_follows"):
+					return d.intValueInt(&v.Stats.RemoteFollows)
+				}
+				return false, nil
+			})
+		}
+		return false, nil
+	}); err != nil {
+		return err
+	}
+	return d.end()
+}
+
+// AppendPeers appends the peers-list JSON array (nil encodes as null,
+// exactly like encoding/json).
+func AppendPeers(dst []byte, peers []string) []byte {
+	if peers == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, p := range peers {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = AppendJSONString(dst, p)
+	}
+	return append(dst, ']')
+}
+
+// DecodePeers decodes a peers list, appending to dst[:0]-style reuse
+// buffers: pass nil for a fresh decode. null yields nil, [] a non-nil
+// empty slice — the stdlib's slice semantics.
+func DecodePeers(data []byte, dst []string) ([]string, error) {
+	d := &decoder{data: data}
+	out := dst
+	if _, err := d.stringSliceValue(&out); err != nil {
+		return nil, err
+	}
+	if err := d.end(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendStatus appends one status object.
+func AppendStatus(dst []byte, s *Status) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = AppendJSONString(dst, s.ID)
+	dst = append(dst, `,"created_at":`...)
+	dst = AppendJSONString(dst, s.CreatedAt)
+	dst = append(dst, `,"content":`...)
+	dst = AppendJSONString(dst, s.Content)
+	dst = append(dst, `,"account":{"username":`...)
+	dst = AppendJSONString(dst, s.Account.Username)
+	dst = append(dst, `,"acct":`...)
+	dst = AppendJSONString(dst, s.Account.Acct)
+	dst = append(dst, '}')
+	if s.Reblog != nil {
+		dst = append(dst, `,"reblog":{"uri":`...)
+		dst = AppendJSONString(dst, s.Reblog.URI)
+		dst = append(dst, '}')
+	}
+	if len(s.Tags) > 0 {
+		dst = append(dst, `,"tags":[`...)
+		for i := range s.Tags {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"name":`...)
+			dst = AppendJSONString(dst, s.Tags[i].Name)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}
+
+// AppendStatuses appends a status page (nil encodes as null).
+func AppendStatuses(dst []byte, page []Status) []byte {
+	if page == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i := range page {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = AppendStatus(dst, &page[i])
+	}
+	return append(dst, ']')
+}
+
+// decodeStatusInto decodes one status object (or null) into s.
+func (d *decoder) decodeStatusInto(s *Status) error {
+	return d.object(func(key []byte) (bool, error) {
+		switch {
+		case fieldIs(key, "id"):
+			return d.stringValue(&s.ID)
+		case fieldIs(key, "created_at"):
+			return d.stringValue(&s.CreatedAt)
+		case fieldIs(key, "content"):
+			return d.stringValue(&s.Content)
+		case fieldIs(key, "account"):
+			return true, d.object(func(key []byte) (bool, error) {
+				switch {
+				case fieldIs(key, "username"):
+					return d.stringValue(&s.Account.Username)
+				case fieldIs(key, "acct"):
+					return d.stringValue(&s.Account.Acct)
+				}
+				return false, nil
+			})
+		case fieldIs(key, "reblog"):
+			c, err := d.peek()
+			if err != nil {
+				return false, err
+			}
+			if c == 'n' {
+				if err := d.lit("null"); err != nil {
+					return false, err
+				}
+				s.Reblog = nil
+				return true, nil
+			}
+			if s.Reblog == nil {
+				s.Reblog = &StatusReblog{}
+			}
+			return true, d.object(func(key []byte) (bool, error) {
+				if fieldIs(key, "uri") {
+					return d.stringValue(&s.Reblog.URI)
+				}
+				return false, nil
+			})
+		case fieldIs(key, "tags"):
+			// Stdlib slice semantics: null → nil, [] → empty non-nil, and a
+			// reused backing array (duplicate "tags" keys) is decoded into in
+			// place, then truncated.
+			tags, n := s.Tags, 0
+			handled, err := d.arrayValue(
+				func() { tags, n = nil, -1 },
+				func() error {
+					if n >= len(tags) {
+						tags = append(tags, StatusTag{})
+					}
+					n++
+					tag := &tags[n-1]
+					return d.object(func(key []byte) (bool, error) {
+						if fieldIs(key, "name") {
+							return d.stringValue(&tag.Name)
+						}
+						return false, nil
+					})
+				})
+			if err != nil || !handled {
+				return handled, err
+			}
+			if n >= 0 {
+				tags = tags[:n]
+				if n == 0 {
+					tags = []StatusTag{}
+				}
+			}
+			s.Tags = tags
+			return true, nil
+		}
+		return false, nil
+	})
+}
+
+// DecodeStatuses decodes a status page, appending into dst[:0]-style reuse
+// buffers: pass nil for a fresh decode. null yields nil, [] a non-nil
+// empty slice.
+func DecodeStatuses(data []byte, dst []Status) ([]Status, error) {
+	d := &decoder{data: data}
+	out := dst[:0]
+	isNull := false
+	if out == nil {
+		out = []Status{}
+	}
+	if _, err := d.arrayValue(
+		func() { isNull = true },
+		func() error {
+			out = append(out, Status{})
+			return d.decodeStatusInto(&out[len(out)-1])
+		}); err != nil {
+		return nil, err
+	}
+	if err := d.end(); err != nil {
+		return nil, err
+	}
+	if isNull {
+		return nil, nil
+	}
+	return out, nil
+}

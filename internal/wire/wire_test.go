@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html"
+	"strings"
+	"testing"
+	"time"
+)
+
+// oldFollowerPage is the fmt.Fprintf renderer AppendFollowerPage replaced,
+// kept verbatim as the byte-compat oracle.
+func oldFollowerPage(name string, actors []Actor, page int, hasNext bool) []byte {
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "<html><body><h1>Followers of %s</h1><ul>\n", html.EscapeString(name))
+	for _, a := range actors {
+		fmt.Fprintf(&w, `<li><a class="follower" href="https://%s/users/%s">%s</a></li>`+"\n",
+			html.EscapeString(a.Domain), html.EscapeString(a.User), html.EscapeString(a.String()))
+	}
+	fmt.Fprint(&w, "</ul>\n")
+	if hasNext {
+		fmt.Fprintf(&w, `<a rel="next" href="/users/%s/followers?page=%d">next</a>`+"\n",
+			html.EscapeString(name), page+1)
+	}
+	fmt.Fprint(&w, "</body></html>")
+	return w.Bytes()
+}
+
+func TestAppendFollowerPageMatchesOldRenderer(t *testing.T) {
+	cases := []struct {
+		name    string
+		actors  []Actor
+		page    int
+		hasNext bool
+	}{
+		{"alice", nil, 1, false},
+		{"alice", []Actor{{User: "u7", Domain: "b.test"}}, 1, true},
+		{"a<b>&'\"c", []Actor{{User: "x<&>", Domain: "d'\"e.test"}, {User: "y", Domain: "z"}}, 3, true},
+		{"café", []Actor{{User: "émile", Domain: "ü.example"}}, 2, false},
+	}
+	for _, c := range cases {
+		want := oldFollowerPage(c.name, c.actors, c.page, c.hasNext)
+		got := AppendFollowerPage(nil, c.name, c.actors, c.page, c.hasNext)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("page for %q diverges:\n got  %s\n want %s", c.name, got, want)
+		}
+	}
+}
+
+func TestScanFollowerPageRoundTrip(t *testing.T) {
+	actors := []Actor{
+		{User: "u1", Domain: "a.test"},
+		{User: "u2", Domain: "b.test"},
+	}
+	page := AppendFollowerPage(nil, "alice", actors, 1, true)
+	var got []Actor
+	ScanFollowerPage(page, func(domain, user []byte) {
+		got = append(got, Actor{User: string(user), Domain: string(domain)})
+	})
+	if len(got) != len(actors) {
+		t.Fatalf("scanned %d followers, want %d", len(got), len(actors))
+	}
+	for i := range got {
+		if got[i] != actors[i] {
+			t.Fatalf("follower %d = %+v, want %+v", i, got[i], actors[i])
+		}
+	}
+	if !FollowerPageHasNext(page) {
+		t.Fatal("next link not detected")
+	}
+	last := AppendFollowerPage(nil, "alice", actors, 2, false)
+	if FollowerPageHasNext(last) {
+		t.Fatal("phantom next link on last page")
+	}
+}
+
+// TestDecodeDepthLimit pins the stdlib's 10000-container nesting cap on
+// the skip path.
+func TestDecodeDepthLimit(t *testing.T) {
+	for _, depth := range []int{9999, 10001} {
+		doc := `{"unknown":` + strings.Repeat("[", depth) + strings.Repeat("]", depth) + `}`
+		var w, j InstanceInfo
+		werr := DecodeInstanceInfo([]byte(doc), &w)
+		jerr := json.Unmarshal([]byte(doc), &j)
+		if (werr == nil) != (jerr == nil) {
+			t.Fatalf("depth %d: wire err %v, json err %v", depth, werr, jerr)
+		}
+	}
+}
+
+func TestDecodeActivityValidates(t *testing.T) {
+	if _, err := DecodeActivity([]byte(`{"type":"Create"}`)); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := DecodeActivity([]byte(`{`)); err == nil {
+		t.Fatal("expected syntax error")
+	}
+	a, err := DecodeActivity([]byte(`{"type":"Follow","from":{"user":"a","domain":"x"},"target":{"user":"b","domain":"y"}}`))
+	if err != nil || a.From.User != "a" || a.Target.Domain != "y" {
+		t.Fatalf("decode = %+v, %v", a, err)
+	}
+}
+
+func TestAppendActivityGolden(t *testing.T) {
+	at := time.Date(2018, 5, 1, 10, 0, 0, 250_000_000, time.UTC)
+	cases := []*Activity{
+		{Type: "Follow", From: Actor{User: "a", Domain: "x"}, Target: Actor{User: "b", Domain: "y"}},
+		{Type: "Create", From: Actor{User: "a", Domain: "x"},
+			Note: &Note{ID: "x/1", Author: Actor{User: "a", Domain: "x"}, Content: "<hi>", Hashtags: []string{"h"}, CreatedAt: at}},
+		{Type: "Announce", From: Actor{User: "a", Domain: "x"},
+			Note: &Note{ID: "x/1", Author: Actor{User: "b", Domain: "y"}}},
+	}
+	for _, a := range cases {
+		want, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encode diverges:\n wire %s\n json %s", got, want)
+		}
+	}
+}

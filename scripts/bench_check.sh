@@ -82,4 +82,49 @@ END {
 }
 ' "$old" "$new"
 
+# Ablation-pair report: for each fast-path/baseline pair in the latest
+# snapshot, print the speedup the design choice buys (see DESIGN.md,
+# "Wire codecs and response caching"). Pairs are "fast slow" benchmark
+# names; missing names are skipped silently.
+echo
+echo "bench_check: ablation pairs in $new (fast vs baseline, ns/op)"
+awk '
+function parse(line) {
+	if (match(line, /"Benchmark[^"]*"/) == 0) return ""
+	name = substr(line, RSTART + 1, RLENGTH - 2)
+	if (match(line, /"ns_per_op": *[0-9.e+-]+/) == 0) return ""
+	ns = substr(line, RSTART, RLENGTH)
+	sub(/.*: */, "", ns)
+	return name SUBSEP ns
+}
+BEGIN {
+	npairs = split(\
+		"BenchmarkAblationWireEncodeStatusPage:BenchmarkAblationJSONEncodeStatusPage " \
+		"BenchmarkAblationWireDecodeStatusPage:BenchmarkAblationJSONDecodeStatusPage " \
+		"BenchmarkAblationWireEncodeInstanceInfo:BenchmarkAblationJSONEncodeInstanceInfo " \
+		"BenchmarkAblationWireDecodeInstanceInfo:BenchmarkAblationJSONDecodeInstanceInfo " \
+		"BenchmarkAblationWireEncodeActivity:BenchmarkAblationJSONEncodeActivity " \
+		"BenchmarkAblationWireDecodeActivity:BenchmarkAblationJSONDecodeActivity " \
+		"BenchmarkAblationWireScanFollowerPage:BenchmarkAblationRegexpScanFollowerPage " \
+		"BenchmarkAblationTimelineCached:BenchmarkAblationTimelineRerendered " \
+		"BenchmarkAblationFollowersCached:BenchmarkAblationFollowersRerendered " \
+		"BenchmarkAblationInstanceInfoCached:BenchmarkAblationInstanceInfoRerendered " \
+		"BenchmarkCrawlWorld:BenchmarkAblationCrawlSocket", pairs, " ")
+}
+{
+	kv = parse($0)
+	if (kv == "") next
+	split(kv, a, SUBSEP)
+	val[a[1]] = a[2]
+}
+END {
+	for (i = 1; i <= npairs; i++) {
+		split(pairs[i], p, ":")
+		if (!(p[1] in val) || !(p[2] in val) || val[p[1]] <= 0) continue
+		printf "  %-44s %12.0f vs %12.0f  (%.2fx)\n", \
+			substr(p[1], 10), val[p[1]], val[p[2]], val[p[2]] / val[p[1]]
+	}
+}
+' "$new"
+
 exit 0
