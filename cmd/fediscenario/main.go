@@ -1,0 +1,96 @@
+// Command fediscenario lists and runs the declarative campaign scenarios
+// of internal/simnet/scenario — outage storms, churn during crawl, live
+// replication — and emits their deterministic JSON reports.
+//
+// Usage:
+//
+//	fediscenario -list                      # scenario names and titles
+//	fediscenario                            # run everything, reports to stdout
+//	fediscenario -run outage-storm          # one scenario
+//	fediscenario -out reports/              # write <name>.json per scenario
+//	fediscenario -seed 99 -run churn-during-crawl
+//
+// Reports are byte-reproducible for a given scenario and seed; CI archives
+// them as workflow artifacts. The exit code is 0 when every scenario's own
+// assertions pass, 1 when any fail (the report records the failure), 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/simnet/scenario"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	list := flag.Bool("list", false, "list scenario names and exit")
+	run := flag.String("run", "", "comma-separated scenario names (default: all)")
+	seed := flag.Uint64("seed", 0, "seed override (0 = each scenario's default seed)")
+	out := flag.String("out", "", "directory for per-scenario <name>.json reports (default: stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.Names() {
+			sc, err := scenario.ByName(name, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fediscenario:", err)
+				return 2
+			}
+			fmt.Printf("%-20s %s\n", name, sc.Title)
+		}
+		return 0
+	}
+
+	names := scenario.Names()
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fediscenario:", err)
+			return 2
+		}
+	}
+
+	code := 0
+	for _, name := range names {
+		sc, err := scenario.ByName(strings.TrimSpace(name), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fediscenario:", err)
+			return 2
+		}
+		rep, err := sc.Run(context.Background())
+		if rep == nil {
+			fmt.Fprintln(os.Stderr, "fediscenario:", err)
+			return 2
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fediscenario:", err)
+			code = 1
+		}
+		b, err := rep.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fediscenario:", err)
+			return 2
+		}
+		if *out == "" {
+			os.Stdout.Write(b)
+		} else {
+			path := filepath.Join(*out, sc.Name+".json")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fediscenario:", err)
+				return 2
+			}
+			fmt.Printf("%-20s passed=%v  %d metrics  -> %s\n",
+				sc.Name, rep.Passed, len(rep.Metrics), path)
+		}
+	}
+	return code
+}

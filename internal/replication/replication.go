@@ -18,6 +18,13 @@ type Strategy interface {
 	// available reports how many of the user's toots survive given the down
 	// mask over instances. exp carries the precomputed placement state.
 	available(exp *Experiment, user int32, down []bool) float64
+	// survives reports whether ANY copy of the user's content remains
+	// reachable under the down mask — the per-user signal behind the
+	// recovered-graph connectivity measure of the live scenarios. For
+	// randomised strategies the replica placement is the deterministic
+	// pseudo-random draw seeded by (Seed, user), so the answer never
+	// changes between calls.
+	survives(exp *Experiment, user int32, down []bool) bool
 	// Name labels the strategy in reports.
 	Name() string
 }
@@ -33,6 +40,10 @@ func (NoRep) available(exp *Experiment, u int32, down []bool) float64 {
 		return 0
 	}
 	return exp.toots[u]
+}
+
+func (NoRep) survives(exp *Experiment, u int32, down []bool) bool {
+	return !down[exp.home[u]]
 }
 
 // SubRep replicates every toot of a user onto the instances hosting the
@@ -53,6 +64,18 @@ func (SubRep) available(exp *Experiment, u int32, down []bool) float64 {
 		}
 	}
 	return 0
+}
+
+func (SubRep) survives(exp *Experiment, u int32, down []bool) bool {
+	if !down[exp.home[u]] {
+		return true
+	}
+	for _, inst := range exp.followerInsts[u] {
+		if !down[inst] {
+			return true
+		}
+	}
+	return false
 }
 
 // RandRep replicates each toot onto N uniformly random instances (distinct
@@ -148,6 +171,36 @@ func (s RandRep) available(exp *Experiment, u int32, down []bool) float64 {
 	return exp.toots[u] * float64(surviving) / float64(samples)
 }
 
+// survives treats the first N distinct draws of the user's deterministic
+// stream as THE replica placement: the user's content remains reachable iff
+// the home or any of those N instances is up.
+func (s RandRep) survives(exp *Experiment, u int32, down []bool) bool {
+	if !down[exp.home[u]] {
+		return true
+	}
+	r := rand.New(rand.NewPCG(s.Seed, uint64(u)))
+	m := len(exp.w.Instances)
+	n := s.N
+	if n > m {
+		n = m
+	}
+	seen := make(map[int]struct{}, n)
+	for i := 0; i < n; i++ {
+		var inst int
+		for {
+			inst = r.IntN(m)
+			if _, dup := seen[inst]; !dup {
+				break
+			}
+		}
+		seen[inst] = struct{}{}
+		if !down[inst] {
+			return true
+		}
+	}
+	return false
+}
+
 // WeightedRep replicates each toot onto N instances drawn without
 // replacement with probability proportional to a weight vector (e.g.
 // instance capacity ∝ hosted users — the §5.2 closing remark that
@@ -240,6 +293,43 @@ func (s WeightedRep) available(exp *Experiment, u int32, down []bool) float64 {
 		}
 	}
 	return exp.toots[u] * float64(surviving) / float64(samples)
+}
+
+// survives mirrors RandRep.survives with weighted draws: the first N
+// distinct weighted picks of the user's deterministic stream are the
+// placement.
+func (s WeightedRep) survives(exp *Experiment, u int32, down []bool) bool {
+	if !down[exp.home[u]] {
+		return true
+	}
+	if len(s.cum) != len(down) {
+		panic("replication: WeightedRep weights length mismatch")
+	}
+	r := rand.New(rand.NewPCG(s.Seed, uint64(u)))
+	total := s.cum[len(s.cum)-1]
+	seen := make(map[int]struct{}, s.N)
+	for len(seen) < s.N {
+		inst := -1
+		for attempt := 0; attempt < 64; attempt++ {
+			x := r.Float64() * total
+			i := sort.SearchFloat64s(s.cum, x)
+			if i >= len(s.cum) {
+				i = len(s.cum) - 1
+			}
+			if _, dup := seen[i]; !dup {
+				inst = i
+				break
+			}
+		}
+		if inst < 0 {
+			return false // weight mass exhausted by duplicates
+		}
+		seen[inst] = struct{}{}
+		if !down[inst] {
+			return true
+		}
+	}
+	return false
 }
 
 // Experiment precomputes the placement state for a world: every user's home
@@ -358,6 +448,27 @@ func (exp *Experiment) Availability(s Strategy, down []bool) float64 {
 		avail += s.available(exp, int32(u), down)
 	}
 	return 100 * avail / exp.totalToots
+}
+
+// Survivors reports, for every user, whether any copy of the user's
+// content remains reachable under strategy s with the given down mask —
+// the node mask behind the live scenarios' recovered-graph connectivity
+// measure (a follow edge survives iff both endpoints do). Users who never
+// tooted have nothing replicated anywhere, so they survive iff their home
+// instance is up, under every strategy.
+func (exp *Experiment) Survivors(s Strategy, down []bool) []bool {
+	if len(down) != len(exp.w.Instances) {
+		panic("replication: down mask length mismatch")
+	}
+	alive := make([]bool, len(exp.toots))
+	for u := range exp.toots {
+		if exp.toots[u] == 0 {
+			alive[u] = !down[exp.home[u]]
+			continue
+		}
+		alive[u] = s.survives(exp, int32(u), down)
+	}
+	return alive
 }
 
 // Sweep removes the given instance batches cumulatively (batch k is removed

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// This file generates *correlated* outage storms: trace overlays in which
+// whole groups of instances (typically the instances of one AS, Table 1)
+// fail together. The paper observed these as simultaneous-failure events in
+// the mnm.social probe record; the scenario engine replays generated storm
+// sets onto a live network mid-campaign and measures what the crawler's
+// view loses.
+
+// StormConfig shapes a correlated-outage storm set. Generation is
+// deterministic: the same config and groups always produce the same storms,
+// and each group draws from an independent random stream, so adding a group
+// never perturbs the storms of another.
+type StormConfig struct {
+	Seed uint64
+	// Slots is the trace length of the generated overlay (absolute probe
+	// slots, same calendar as the world's traces).
+	Slots int
+	// SlotsPerDay is the probing calendar of the overlay (0 = 288, the
+	// paper's five-minute cadence).
+	SlotsPerDay int
+	// Storms is the number of storms generated per group (0 = 1).
+	Storms int
+	// MinSlots is the minimum storm duration (0 = 1 slot).
+	MinSlots int
+	// MeanSlots is the mean of the exponential tail added on top of
+	// MinSlots (0 = no tail: every storm lasts exactly MinSlots).
+	MeanSlots float64
+	// Participation is the probability that each group member joins a
+	// given storm. Values outside (0, 1] mean 1: a fully correlated,
+	// AS-wide failure. Every storm keeps at least one member.
+	Participation float64
+	// WindowStart/WindowEnd bound the slots a storm may cover, clamped to
+	// [0, Slots). WindowEnd 0 means Slots.
+	WindowStart, WindowEnd int
+}
+
+// Storm is one generated correlated failure: every member instance is down
+// over [Start, End).
+type Storm struct {
+	// Group indexes the groups slice the storm was drawn for.
+	Group int
+	// Start/End are absolute slots, [Start, End).
+	Start, End int
+	// Members are the participating instance ids, sorted ascending.
+	Members []int32
+}
+
+// Slots returns the storm length in slots.
+func (s Storm) Slots() int { return s.End - s.Start }
+
+// GenCorrelatedOutages generates a storm overlay for n instances: a
+// TraceSet of length cfg.Slots that is down exactly where some storm covers
+// the instance, plus the storm list (sorted by group, then start, then
+// end). Group members outside [0, n) are ignored; groups left empty by that
+// filter generate no storms.
+//
+// The overlay composes with a world's base traces by OR — see
+// simnet.Injector.SetOverlay — so "replaying a storm" never erases the
+// background outages the world already has.
+func GenCorrelatedOutages(n int, groups [][]int32, cfg StormConfig) (*TraceSet, []Storm) {
+	if n < 0 || cfg.Slots <= 0 {
+		panic("sim: GenCorrelatedOutages needs n >= 0 and positive Slots")
+	}
+	spd := cfg.SlotsPerDay
+	if spd <= 0 {
+		spd = 288
+	}
+	storms := cfg.Storms
+	if storms <= 0 {
+		storms = 1
+	}
+	minSlots := cfg.MinSlots
+	if minSlots <= 0 {
+		minSlots = 1
+	}
+	part := cfg.Participation
+	if part <= 0 || part > 1 {
+		part = 1
+	}
+	lo, hi := cfg.WindowStart, cfg.WindowEnd
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= 0 || hi > cfg.Slots {
+		hi = cfg.Slots
+	}
+
+	ts := &TraceSet{SlotsPerDay: spd, Traces: make([]*Trace, n)}
+	for i := range ts.Traces {
+		ts.Traces[i] = NewTrace(cfg.Slots)
+	}
+	var out []Storm
+	if hi <= lo {
+		return ts, out
+	}
+	window := hi - lo
+
+	for gi, group := range groups {
+		members := make([]int32, 0, len(group))
+		for _, id := range group {
+			if id >= 0 && int(id) < n {
+				members = append(members, id)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+		r := rand.New(rand.NewPCG(cfg.Seed, uint64(gi)))
+		for k := 0; k < storms; k++ {
+			dur := minSlots
+			if cfg.MeanSlots > 0 {
+				dur += int(r.ExpFloat64() * cfg.MeanSlots)
+			}
+			if dur > window {
+				dur = window
+			}
+			start := lo + r.IntN(window-dur+1)
+			joined := make([]int32, 0, len(members))
+			for _, id := range members {
+				// One draw per member regardless of participation keeps the
+				// stream consumption — and so every later storm — identical
+				// across participation settings.
+				if u := r.Float64(); part >= 1 || u < part {
+					joined = append(joined, id)
+				}
+			}
+			// The fallback member is drawn unconditionally for the same
+			// reason: a storm that happened to have joiners must not shift
+			// the stream of the next one.
+			fallback := members[r.IntN(len(members))]
+			if len(joined) == 0 {
+				joined = append(joined, fallback)
+			}
+			for _, id := range joined {
+				ts.Traces[id].SetDownRange(start, start+dur)
+			}
+			out = append(out, Storm{Group: gi, Start: start, End: start + dur, Members: joined})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Group != out[b].Group {
+			return out[a].Group < out[b].Group
+		}
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].End < out[b].End
+	})
+	return ts, out
+}

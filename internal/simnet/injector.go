@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"sort"
+
 	"repro/internal/instance"
 	"repro/internal/sim"
 )
@@ -9,10 +11,18 @@ import (
 // an instance whose trace bit is down starts refusing requests with 503s —
 // exactly the failure the mnm.social prober recorded — and comes back when
 // the trace does. Traces and domains are matched by position.
+//
+// Two scenario controls compose with the base traces at every Apply: an
+// overlay trace set (OR-ed in, for replaying generated outage storms onto a
+// running campaign) and a kill set (domains pinned down permanently, for
+// churn and §5.2-style death experiments).
 type Injector struct {
 	net     *instance.Network
 	domains []string
+	index   map[string]int
 	traces  *sim.TraceSet
+	overlay *sim.TraceSet
+	killed  map[string]bool
 	slot    int
 }
 
@@ -22,11 +32,64 @@ func NewInjector(net *instance.Network, domains []string, traces *sim.TraceSet) 
 	if len(domains) != traces.Len() {
 		panic("simnet: injector domain/trace count mismatch")
 	}
-	return &Injector{net: net, domains: domains, traces: traces, slot: -1}
+	index := make(map[string]int, len(domains))
+	for i, d := range domains {
+		index[d] = i
+	}
+	return &Injector{
+		net:     net,
+		domains: domains,
+		index:   index,
+		traces:  traces,
+		killed:  make(map[string]bool),
+		slot:    -1,
+	}
 }
 
-// Apply drives every server's availability from its trace at slot. Slots
-// outside the trace window leave instances up (the trace has no opinion).
+// SetOverlay installs an extra trace set that is OR-ed onto the base traces
+// at every Apply — the storm-replay hook: a correlated outage set generated
+// by sim.GenCorrelatedOutages takes effect mid-campaign without touching
+// the world's ground-truth traces. Overlay traces are matched to domains by
+// position, exactly like the base set. nil clears the overlay.
+func (inj *Injector) SetOverlay(ts *sim.TraceSet) {
+	if ts != nil && ts.Len() != len(inj.domains) {
+		panic("simnet: injector overlay/domain count mismatch")
+	}
+	inj.overlay = ts
+}
+
+// Overlay returns the installed overlay (nil if none).
+func (inj *Injector) Overlay() *sim.TraceSet { return inj.overlay }
+
+// Kill takes the domain's server offline immediately and permanently: every
+// later Apply keeps it down no matter what the traces (or overlay) say.
+// Domains outside the injector's trace population — instances registered
+// mid-campaign — may be killed too.
+func (inj *Injector) Kill(domain string) {
+	inj.killed[domain] = true
+	if srv := inj.net.Server(domain); srv != nil {
+		srv.SetOnline(false)
+	}
+}
+
+// Killed reports whether domain has been killed.
+func (inj *Injector) Killed(domain string) bool { return inj.killed[domain] }
+
+// KilledDomains returns the killed domains, sorted.
+func (inj *Injector) KilledDomains() []string {
+	out := make([]string, 0, len(inj.killed))
+	for d := range inj.killed {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply drives every server's availability from its trace at slot: down iff
+// the base trace, the overlay, or a kill says so. Slots outside the trace
+// window leave instances up (the trace has no opinion). Killed domains
+// outside the trace population are re-pinned down, so a server registered
+// after its Kill stays dead.
 func (inj *Injector) Apply(slot int) {
 	inj.slot = slot
 	for i, d := range inj.domains {
@@ -34,7 +97,22 @@ func (inj *Injector) Apply(slot int) {
 		if srv == nil {
 			continue
 		}
-		srv.SetOnline(!inj.traces.Traces[i].IsDown(slot))
+		down := inj.traces.Traces[i].IsDown(slot)
+		if !down && inj.overlay != nil {
+			down = inj.overlay.Traces[i].IsDown(slot)
+		}
+		if !down && inj.killed[d] {
+			down = true
+		}
+		srv.SetOnline(!down)
+	}
+	for d := range inj.killed {
+		if _, traced := inj.index[d]; traced {
+			continue
+		}
+		if srv := inj.net.Server(d); srv != nil {
+			srv.SetOnline(false)
+		}
 	}
 }
 

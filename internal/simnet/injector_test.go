@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/sim"
+)
+
+func injectorFixture(t *testing.T, n, slots int) (*instance.Network, []string, *sim.TraceSet) {
+	t.Helper()
+	net := instance.NewNetwork(1)
+	domains := make([]string, n)
+	for i := range domains {
+		domains[i] = "inj" + string(rune('a'+i)) + ".test"
+		net.Add(instance.Config{Domain: domains[i], Software: "mastodon"})
+	}
+	ts := sim.NewTraceSet(n, 1, slots)
+	return net, domains, ts
+}
+
+func TestInjectorOverlayORsOntoBase(t *testing.T) {
+	net, domains, ts := injectorFixture(t, 3, 10)
+	ts.Traces[0].SetDownRange(2, 4) // base outage on instance 0
+	inj := NewInjector(net, domains, ts)
+
+	overlay := sim.NewTraceSet(3, 1, 10)
+	overlay.Traces[1].SetDownRange(3, 6) // storm on instance 1
+	overlay.Traces[0].SetDownRange(5, 7) // storm extends instance 0's trouble
+	inj.SetOverlay(overlay)
+
+	wantDown := map[int][]bool{
+		//        slot: 0      1      2     3     4      5     6
+		0: {false, false, true, true, false, true, true},
+		1: {false, false, false, true, true, true, false},
+		2: {false, false, false, false, false, false, false},
+	}
+	for slot := 0; slot < 7; slot++ {
+		inj.Apply(slot)
+		for i, d := range domains {
+			if got, want := !net.Server(d).Online(), wantDown[i][slot]; got != want {
+				t.Fatalf("slot %d instance %d: down=%v, want %v", slot, i, got, want)
+			}
+		}
+	}
+
+	// Clearing the overlay restores pure base-trace behaviour.
+	inj.SetOverlay(nil)
+	inj.Apply(5)
+	if !net.Server(domains[0]).Online() || !net.Server(domains[1]).Online() {
+		t.Fatal("cleared overlay still takes servers down")
+	}
+}
+
+func TestInjectorOverlaySizeMismatchPanics(t *testing.T) {
+	net, domains, ts := injectorFixture(t, 2, 5)
+	inj := NewInjector(net, domains, ts)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched overlay did not panic")
+		}
+	}()
+	inj.SetOverlay(sim.NewTraceSet(3, 1, 5))
+}
+
+func TestInjectorKillPinsDown(t *testing.T) {
+	net, domains, ts := injectorFixture(t, 2, 10)
+	inj := NewInjector(net, domains, ts)
+
+	inj.Apply(0)
+	if !net.Server(domains[0]).Online() {
+		t.Fatal("instance down before its kill")
+	}
+	inj.Kill(domains[0])
+	if net.Server(domains[0]).Online() {
+		t.Fatal("Kill did not take the server offline immediately")
+	}
+	if !inj.Killed(domains[0]) || inj.Killed(domains[1]) {
+		t.Fatal("Killed bookkeeping wrong")
+	}
+	// The base trace says "up" at every slot, but the kill pins it down.
+	for slot := 1; slot < 5; slot++ {
+		inj.Apply(slot)
+		if net.Server(domains[0]).Online() {
+			t.Fatalf("killed server resurrected at slot %d", slot)
+		}
+		if !net.Server(domains[1]).Online() {
+			t.Fatalf("unkilled server down at slot %d", slot)
+		}
+	}
+}
+
+func TestInjectorKillUntracedDomain(t *testing.T) {
+	net, domains, ts := injectorFixture(t, 1, 5)
+	inj := NewInjector(net, domains, ts)
+
+	// A domain outside the trace population (registered mid-campaign).
+	late := net.Add(instance.Config{Domain: "late.test", Software: "mastodon"})
+	inj.Kill("late.test")
+	if late.Online() {
+		t.Fatal("untraced kill did not take the server offline")
+	}
+	inj.Apply(3)
+	if late.Online() {
+		t.Fatal("Apply resurrected an untraced killed server")
+	}
+	if got := inj.KilledDomains(); !reflect.DeepEqual(got, []string{"late.test"}) {
+		t.Fatalf("KilledDomains = %v", got)
+	}
+}

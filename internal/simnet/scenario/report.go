@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Report is a scenario's deterministic outcome: scripted events, discovery
+// rounds, named scalar metrics and named series, plus the pass/fail verdict
+// of the scenario's own assertions. Everything is held in sorted slices —
+// never maps — so Encode is byte-reproducible run over run.
+type Report struct {
+	Scenario  string `json:"scenario"`
+	Title     string `json:"title"`
+	Paper     string `json:"paper,omitempty"`
+	Seed      uint64 `json:"seed"`
+	StartSlot int    `json:"start_slot"`
+	Slots     int    `json:"slots"`
+	// Instances is the initial probe population; FinalDomains the
+	// population after churn and discovery.
+	Instances    int `json:"instances"`
+	FinalDomains int `json:"final_domains"`
+
+	Events      []EventRecord     `json:"events,omitempty"`
+	Discoveries []DiscoveryRecord `json:"discoveries,omitempty"`
+	Metrics     []Metric          `json:"metrics"`
+	Series      []Series          `json:"series,omitempty"`
+
+	Passed  bool   `json:"passed"`
+	Failure string `json:"failure,omitempty"`
+}
+
+// EventRecord logs one fired event.
+type EventRecord struct {
+	Slot int    `json:"slot"`
+	Name string `json:"name"`
+}
+
+// DiscoveryRecord logs one snowball discovery round.
+type DiscoveryRecord struct {
+	Slot int `json:"slot"`
+	// Known is the probe population size after the round; Found lists the
+	// domains the round added, sorted.
+	Known int      `json:"known"`
+	Found []string `json:"found,omitempty"`
+}
+
+// Metric is one named scalar.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Series is one named float series (a figure curve).
+type Series struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Add records a scalar metric. NaN and infinities are rejected loudly —
+// they would poison the JSON encoding.
+func (rep *Report) Add(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("scenario: metric %s is %v", name, v))
+	}
+	rep.Metrics = append(rep.Metrics, Metric{Name: name, Value: v})
+}
+
+// AddSeries records a named series.
+func (rep *Report) AddSeries(name string, values []float64) {
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("scenario: series %s contains %v", name, v))
+		}
+	}
+	rep.Series = append(rep.Series, Series{Name: name, Values: append([]float64(nil), values...)})
+}
+
+// Metric returns a recorded metric by name.
+func (rep *Report) Metric(name string) (float64, bool) {
+	for _, m := range rep.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MustMetric returns a recorded metric or panics — for Check functions,
+// where a missing metric is a scenario bug, not a soft failure.
+func (rep *Report) MustMetric(name string) float64 {
+	v, ok := rep.Metric(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: no metric %q in report %s", name, rep.Scenario))
+	}
+	return v
+}
+
+// sortPayload puts metrics and series in name order (duplicate names keep
+// insertion order, but scenarios should not produce duplicates).
+func (rep *Report) sortPayload() {
+	sort.SliceStable(rep.Metrics, func(i, j int) bool { return rep.Metrics[i].Name < rep.Metrics[j].Name })
+	sort.SliceStable(rep.Series, func(i, j int) bool { return rep.Series[i].Name < rep.Series[j].Name })
+}
+
+// Encode renders the report as indented JSON, byte-reproducible for a given
+// scenario and seed.
+func (rep *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

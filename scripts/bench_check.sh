@@ -2,10 +2,17 @@
 # Diffs the newest BENCH_<n>.json snapshot (written by scripts/bench.sh)
 # against the previous one and reports ns/op movement. Regressions worse
 # than 20% on the DESIGN.md ablation benchmarks (Benchmark*Ablation*) are
-# flagged loudly; everything else is informational. The script always
-# exits 0 — it is a non-blocking CI report, not a gate.
+# flagged loudly; everything else is informational.
 #
 # Usage: scripts/bench_check.sh [threshold-pct]   (default: 20)
+#
+# Exit codes:
+#   0  comparison ran (regressions, if any, are reported but never fail
+#      the script — it is a non-blocking report, not a perf gate), or
+#      fewer than two snapshots exist and there is nothing to compare
+#   2  a snapshot is malformed: unreadable, or it contains no parsable
+#      "BenchmarkName": {... "ns_per_op": N ...} entries — previously such
+#      a file silently produced an empty (passing) report
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +42,14 @@ fi
 
 old="BENCH_${prev}.json"
 new="BENCH_${latest}.json"
+
+for f in "$old" "$new"; do
+	if [ ! -r "$f" ]; then
+		echo "bench_check: ERROR: cannot read $f" >&2
+		exit 2
+	fi
+done
+
 echo "bench_check: comparing $old -> $new (threshold ${threshold}%)"
 
 # Each snapshot holds flat lines of the form
@@ -49,15 +64,24 @@ function parse(line) {
 	sub(/.*: */, "", ns)
 	return name SUBSEP ns
 }
-FNR == 1 { file++ }
 {
 	kv = parse($0)
 	if (kv == "") next
 	split(kv, a, SUBSEP)
-	if (file == 1) before[a[1]] = a[2]
-	else after[a[1]] = a[2]
+	# Keyed on FILENAME, not a file counter: a zero-line first snapshot
+	# never fires FNR==1, which would misfile every record.
+	if (FILENAME == ARGV[1]) { before[a[1]] = a[2]; nbefore++ }
+	else { after[a[1]] = a[2]; nafter++ }
 }
 END {
+	# A snapshot that parses to zero benchmark entries is malformed, not
+	# empty: bench.sh always writes at least one entry. Fail loudly (exit
+	# 2) instead of letting an empty diff read as "no regressions".
+	if (nbefore == 0 || nafter == 0) {
+		printf "bench_check: ERROR: %s contains no parsable benchmark entries (malformed snapshot)\n",
+			(nbefore == 0 ? ARGV[1] : ARGV[2]) > "/dev/stderr"
+		exit 2
+	}
 	regressions = 0
 	for (name in after) {
 		if (!(name in before) || before[name] <= 0) continue
