@@ -7,10 +7,18 @@
 //
 //	fedicrawl -base http://localhost:8080 -seeds instance-0001.fedi.test
 //	fedicrawl -base http://localhost:8080 -world world.fedi   # full domain list
+//
+// Incremental recrawls persist per-domain toot high-water marks between
+// runs: the first crawl writes them with -write-since, the next one resumes
+// from them with -since and fetches only content that appeared in between.
+//
+//	fedicrawl -base ... -world world.fedi -write-since marks.json
+//	fedicrawl -base ... -world world.fedi -since marks.json -write-since marks.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +38,21 @@ func main() {
 	maxToots := flag.Int("max-toots", 0, "per-instance toot cap (0 = full history)")
 	scrapeFollowers := flag.Bool("followers", true, "also scrape follower lists of toot authors")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall crawl deadline")
+	sinceFile := flag.String("since", "", "JSON high-water-mark file from a previous -write-since run; crawl only newer toots")
+	writeSince := flag.String("write-since", "", "write the crawl's per-domain high-water marks to this JSON file")
 	flag.Parse()
+
+	since := map[string]int64{}
+	if *sinceFile != "" {
+		b, err := os.ReadFile(*sinceFile)
+		if err == nil {
+			err = json.Unmarshal(b, &since)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedicrawl:", err)
+			os.Exit(2)
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -75,16 +97,40 @@ func main() {
 	}
 	fmt.Printf("monitor: %d/%d online, %d toots reported\n", online, len(domains), totalToots)
 
-	// 3. Toots.
-	tc := &crawler.TootCrawler{Client: cli, Workers: *workers, Local: true, MaxToots: *maxToots}
+	// 3. Toots (incremental when -since marks exist).
+	tc := &crawler.TootCrawler{Client: cli, Workers: *workers, Local: true, MaxToots: *maxToots, Since: since}
 	start := time.Now()
 	results := tc.Crawl(ctx, domains)
 	sum := crawler.Summarize(results)
-	fmt.Printf("toot crawl (%v): %d toots from %d authors; %d online, %d blocked, %d offline\n",
-		time.Since(start).Round(time.Millisecond), sum.Toots, sum.Authors, sum.Online, sum.Blocked, sum.Offline)
-	if totalToots > 0 {
+	mode := "full"
+	if len(since) > 0 {
+		mode = fmt.Sprintf("delta over %d marks", len(since))
+	}
+	fmt.Printf("toot crawl (%v, %s): %d toots from %d authors; %d online, %d blocked, %d offline\n",
+		time.Since(start).Round(time.Millisecond), mode, sum.Toots, sum.Authors, sum.Online, sum.Blocked, sum.Offline)
+	if totalToots > 0 && len(since) == 0 {
 		fmt.Printf("coverage: %.1f%% of reported toots (paper: 62%%)\n",
 			100*float64(sum.Toots)/float64(totalToots))
+	}
+	if *writeSince != "" {
+		marks := make(map[string]int64, len(results))
+		for i := range results {
+			// A crawl that failed partway (r.Err) must not checkpoint: its
+			// mark would sit past history that was never fetched. Leaving
+			// the domain out makes the next run refetch it in full.
+			if r := &results[i]; !r.Blocked && !r.Offline && r.Err == nil {
+				marks[r.Domain] = r.MaxID
+			}
+		}
+		b, err := json.MarshalIndent(marks, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*writeSince, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedicrawl:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("high-water marks: %d domains -> %s\n", len(marks), *writeSince)
 	}
 
 	// 4. Follower graph.

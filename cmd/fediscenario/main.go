@@ -1,6 +1,7 @@
 // Command fediscenario lists and runs the declarative campaign scenarios
 // of internal/simnet/scenario — outage storms, churn during crawl, live
-// replication — and emits their deterministic JSON reports.
+// replication, incremental recrawls — and emits their deterministic JSON
+// reports.
 //
 // Usage:
 //

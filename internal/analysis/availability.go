@@ -60,6 +60,40 @@ func Fig7Downtime(w *dataset.World) DowntimeResult {
 	return r
 }
 
+// WindowDowntime computes availability per recrawl window of a merged
+// longitudinal world: bounds lists each window's first slot, ascending and
+// starting at 0 (the last window runs to the end of the traces), and the
+// result is the mean per-instance down fraction of each window — Fig 7's
+// headline number tracked across campaign windows instead of averaged over
+// one. It panics on malformed bounds, like the trace primitives it wraps.
+func WindowDowntime(w *dataset.World, bounds []int) []float64 {
+	slots := w.Traces.Slots()
+	if len(bounds) == 0 || bounds[0] != 0 {
+		panic("analysis: window bounds must start at slot 0")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] || bounds[i] >= slots {
+			panic("analysis: window bounds must ascend within the trace window")
+		}
+	}
+	out := make([]float64, len(bounds))
+	for i := range bounds {
+		lo, hi := bounds[i], slots
+		if i+1 < len(bounds) {
+			hi = bounds[i+1]
+		}
+		var sum float64
+		for j := range w.Instances {
+			sum += w.Traces.Traces[j].DownFraction(lo, hi)
+		}
+		if len(w.Instances) > 0 {
+			sum /= float64(len(w.Instances))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
 // SizeBin labels the Fig 8 toot-count bins.
 type SizeBin string
 

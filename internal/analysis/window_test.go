@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+func TestWindowDowntime(t *testing.T) {
+	ts := &sim.TraceSet{SlotsPerDay: dataset.SlotsPerDay, Traces: []*sim.Trace{
+		sim.NewTrace(8), sim.NewTrace(8),
+	}}
+	ts.Traces[0].SetDownRange(0, 4) // down the whole first window
+	ts.Traces[1].SetDownRange(6, 8) // down half the second window
+	w := &dataset.World{
+		Instances: make([]dataset.Instance, 2),
+		Traces:    ts,
+	}
+	got := WindowDowntime(w, []int{0, 4})
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 0.25 {
+		t.Fatalf("WindowDowntime = %v, want [0.5 0.25]", got)
+	}
+	if got := WindowDowntime(w, []int{0}); len(got) != 1 || got[0] != 0.375 {
+		t.Fatalf("single window = %v, want [0.375]", got)
+	}
+	for _, bad := range [][]int{{}, {1}, {0, 0}, {0, 9}, {0, 5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bad)
+				}
+			}()
+			WindowDowntime(w, bad)
+		}()
+	}
+}

@@ -6,14 +6,14 @@ import (
 	"regexp"
 	"sort"
 
+	"repro/internal/dataset"
 	"repro/internal/wire"
 )
 
 // Edge is one follower relationship: From follows To (both user@domain).
-type Edge struct {
-	From string
-	To   string
-}
+// It is the dataset-layer follow edge, so scrape results feed dataset
+// assembly and the incremental-recrawl merge without conversion.
+type Edge = dataset.FollowEdge
 
 // FollowerScraper rebuilds the social graph by paging through the HTML
 // follower lists at https://<domain>/users/<name>/followers (§3).

@@ -1,0 +1,159 @@
+package crawler
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// The limiter's timing contract under a deterministic virtual clock: a
+// bucket never holds more than burst tokens, exhausted buckets quote
+// exactly the token deficit divided by the refill rate, and Wait spends
+// precisely that quote in virtual time. These are the properties the
+// flash-crowd scenario's fairness depends on.
+
+const waitEps = time.Microsecond
+
+func approxDur(got, want time.Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= waitEps
+}
+
+// TestHostLimiterBurstBound: tokens never exceed burst, no matter how long
+// the bucket idles — after any refill window, at most burst reserves are
+// free before the limiter starts quoting waits.
+func TestHostLimiterBurstBound(t *testing.T) {
+	clk := vclock.NewSim(time.Date(2017, 4, 11, 0, 0, 0, 0, time.UTC))
+	l := NewHostLimiterClock(2, 4, clk)
+	for round := 0; round < 3; round++ {
+		free := 0
+		for l.reserve("a.x") == 0 {
+			free++
+			if free > 4 {
+				t.Fatalf("round %d: %d free reserves for burst 4", round, free)
+			}
+		}
+		if free != 4 {
+			t.Fatalf("round %d: %d free reserves, want exactly the burst", round, free)
+		}
+		// A week of idle refill still caps at burst tokens.
+		clk.Advance(7 * 24 * time.Hour)
+	}
+}
+
+// TestHostLimiterExactWaits: with the bucket drained, the k-th queued
+// reserve owes exactly k/rate seconds; a partial refill is credited
+// exactly.
+func TestHostLimiterExactWaits(t *testing.T) {
+	clk := vclock.NewSim(time.Date(2017, 4, 11, 0, 0, 0, 0, time.UTC))
+	const rate, burst = 4.0, 2.0
+	l := NewHostLimiterClock(rate, burst, clk)
+	for i := 0; i < int(burst); i++ {
+		if d := l.reserve("a.x"); d != 0 {
+			t.Fatalf("burst reserve %d quoted %v", i, d)
+		}
+	}
+	for k := 1; k <= 5; k++ {
+		want := time.Duration(float64(k) / rate * float64(time.Second))
+		if d := l.reserve("a.x"); !approxDur(d, want) {
+			t.Fatalf("queued reserve %d quoted %v, want %v", k, d, want)
+		}
+	}
+	// 5 tokens owed; advancing 1s refills 4: the next reserve owes 2/rate.
+	clk.Advance(time.Second)
+	if d, want := l.reserve("a.x"), time.Duration(2.0/rate*float64(time.Second)); !approxDur(d, want) {
+		t.Fatalf("post-refill reserve quoted %v, want %v", d, want)
+	}
+	// Hosts are independent buckets.
+	if d := l.reserve("b.x"); d != 0 {
+		t.Fatalf("fresh host quoted %v", d)
+	}
+}
+
+// TestHostLimiterPropertyVsModel drives random reserve/advance sequences
+// over several hosts against an independent token-bucket model and demands
+// exact agreement (within float jitter) on every quoted wait — and that
+// the model's token level never exceeds burst.
+func TestHostLimiterPropertyVsModel(t *testing.T) {
+	start := time.Date(2017, 4, 11, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewSim(start)
+	const rate, burst = 3.0, 5.0
+	l := NewHostLimiterClock(rate, burst, clk)
+	hosts := []string{"a.x", "b.x", "c.x"}
+
+	type model struct {
+		tokens float64
+		last   time.Time
+	}
+	models := map[string]*model{}
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(4) == 0 {
+			clk.Advance(time.Duration(rng.Intn(900)) * time.Millisecond)
+			continue
+		}
+		h := hosts[rng.Intn(len(hosts))]
+		m := models[h]
+		now := clk.Now()
+		if m == nil {
+			m = &model{tokens: burst, last: now}
+			models[h] = m
+		}
+		m.tokens = math.Min(burst, m.tokens+now.Sub(m.last).Seconds()*rate)
+		if m.tokens > burst {
+			t.Fatalf("op %d: model for %s holds %v tokens over burst %v", op, h, m.tokens, burst)
+		}
+		m.last = now
+		m.tokens--
+		var want time.Duration
+		if m.tokens < 0 {
+			want = time.Duration(-m.tokens / rate * float64(time.Second))
+		}
+		if got := l.reserve(h); !approxDur(got, want) {
+			t.Fatalf("op %d host %s: reserve quoted %v, model wants %v", op, h, got, want)
+		}
+	}
+}
+
+// TestHostLimiterWaitSpendsVirtualTime: Wait on an elastic Sim clock
+// consumes exactly the quoted deficit in virtual time and never sleeps for
+// real.
+func TestHostLimiterWaitSpendsVirtualTime(t *testing.T) {
+	start := time.Date(2017, 4, 11, 0, 0, 0, 0, time.UTC)
+	clk := vclock.NewElastic(start)
+	const rate, burst = 10.0, 3.0
+	l := NewHostLimiterClock(rate, burst, clk)
+	ctx := context.Background()
+	wall := time.Now()
+	const n = 23
+	for i := 0; i < n; i++ {
+		if err := l.Wait(ctx, "a.x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// n reserves leave a (n-burst)-token deficit; the elastic clock must
+	// have advanced exactly that long.
+	want := time.Duration((n - burst) / rate * float64(time.Second))
+	if got := clk.Now().Sub(start); !approxDur(got, want) {
+		t.Fatalf("virtual time advanced %v, want %v", got, want)
+	}
+	if clk.SleepCount() != int64(n-burst) {
+		t.Fatalf("%d virtual sleeps, want %d", clk.SleepCount(), int64(n-burst))
+	}
+	if real := time.Since(wall); real > 5*time.Second {
+		t.Fatalf("limiter slept for real: %v", real)
+	}
+	// Cancellation short-circuits a quoted wait without consuming it.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := l.Wait(cancelled, "a.x"); err == nil {
+		t.Fatal("cancelled Wait returned nil")
+	}
+}

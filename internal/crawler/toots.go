@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/wire"
 )
 
@@ -30,6 +30,12 @@ type InstanceCrawl struct {
 	Offline bool // instance unreachable
 	Err     error
 	Pages   int
+	// SinceID is the high-water mark the crawl resumed from (0 = a full
+	// harvest); MaxID is the largest toot id seen, carrying SinceID forward
+	// when the delta window produced nothing new. Together they are the
+	// checkpoint an incremental recrawl passes to the next campaign.
+	SinceID int64
+	MaxID   int64
 }
 
 // TootCrawler pages through the public timelines of many instances
@@ -41,6 +47,11 @@ type TootCrawler struct {
 	PageSize int  // toots per page (0 = 40, Mastodon's cap)
 	MaxToots int  // per-instance harvest cap (0 = unlimited)
 	Local    bool // crawl the local timeline (true) or federated (false)
+	// Since, when set, turns the crawl incremental: a domain with a
+	// positive high-water mark only fetches toots with id greater than it
+	// (Mastodon's since_id parameter), so a recrawl pays for new content
+	// only. Domains without an entry are harvested in full.
+	Since map[string]int64
 }
 
 // wireStatus is the status wire shape, decoded by internal/wire.
@@ -59,12 +70,18 @@ func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) Instanc
 	if tc.Local {
 		local = "true"
 	}
+	since := tc.Since[domain]
+	out.SinceID = since
+	out.MaxID = since
 	bp := getBuf()
 	var body []byte
 	defer func() { putBuf(bp, body) }()
 	var page []wireStatus
 	var maxID int64
 	base := "/api/v1/timelines/public?local=" + local + "&limit=" + strconv.Itoa(pageSize)
+	if since > 0 {
+		base += "&since_id=" + strconv.FormatInt(since, 10)
+	}
 	for {
 		path := base
 		if maxID > 0 {
@@ -107,7 +124,15 @@ func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) Instanc
 				out.Err = err
 				return out
 			}
+			if since > 0 && rec.ID <= since {
+				// A server without since_id support paged past the mark:
+				// everything from here back was already harvested.
+				return out
+			}
 			out.Toots = append(out.Toots, rec)
+			if rec.ID > out.MaxID {
+				out.MaxID = rec.ID
+			}
 			if maxID == 0 || rec.ID < maxID {
 				maxID = rec.ID
 			}
@@ -215,9 +240,5 @@ func Authors(results []InstanceCrawl) []string {
 
 // SplitAcct splits user@domain; it returns ok=false for malformed accts.
 func SplitAcct(acct string) (user, domain string, ok bool) {
-	i := strings.IndexByte(acct, '@')
-	if i <= 0 || i == len(acct)-1 {
-		return "", "", false
-	}
-	return acct[:i], acct[i+1:], true
+	return dataset.SplitAcct(acct)
 }

@@ -29,6 +29,7 @@ type pageKey struct {
 	kind byte   // 'h' home, 'i' instance API, 'p' peers, 't' timeline, 'f' followers
 	name string // follower pages: the account
 	a, b int64  // timeline: maxID, limit; followers: page number
+	c    int64  // timeline: sinceID (delta-crawl pages cache separately)
 }
 
 type pageEntry struct {
@@ -193,6 +194,15 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		maxID = id
 	}
+	var sinceID int64
+	if v := q.Get("since_id"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || id < 0 {
+			http.Error(w, "bad since_id", http.StatusBadRequest)
+			return
+		}
+		sinceID = id
+	}
 	limit := 20
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -205,12 +215,12 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	key := pageKey{kind: 't', a: maxID, b: int64(limit)}
+	key := pageKey{kind: 't', a: maxID, b: int64(limit), c: sinceID}
 	if kind == TimelineLocal {
 		key.name = "local"
 	}
 	s.servePage(w, "application/json; charset=utf-8", key, func(dst []byte) []byte {
-		toots := s.PublicTimeline(kind, maxID, limit)
+		toots := s.PublicTimelineSince(kind, maxID, sinceID, limit)
 		page := make([]wire.Status, len(toots))
 		for i, t := range toots {
 			page[i] = wire.Status{

@@ -103,10 +103,58 @@ func TestHTTPTimelinePagingAndValidation(t *testing.T) {
 		t.Fatalf("oversized limit rejected: %d", code)
 	}
 	// Malformed query parameters are 400s.
-	for _, q := range []string{"max_id=abc", "max_id=-4", "limit=0", "limit=x"} {
+	for _, q := range []string{"max_id=abc", "max_id=-4", "limit=0", "limit=x", "since_id=abc", "since_id=-1"} {
 		if code, _ := get(t, ts, "/api/v1/timelines/public?"+q); code != 400 {
 			t.Fatalf("query %q: status %d, want 400", q, code)
 		}
+	}
+}
+
+// TestHTTPTimelineSinceID: the delta-crawl lower bound. A recrawl resuming
+// from a high-water mark must get exactly the toots that appeared after
+// it, newest first, and the cached page for a since_id query must not
+// shadow (or be shadowed by) the unbounded page.
+func TestHTTPTimelineSinceID(t *testing.T) {
+	s, ts := liveServer(t, Config{Domain: "x.test", Open: true})
+	s.CreateAccount("alice", false, false, t0)
+	for i := 0; i < 10; i++ {
+		s.PostToot(context.Background(), "alice", fmt.Sprintf("t%d", i), nil, t0)
+	}
+	decode := func(body string) []struct {
+		ID string `json:"id"`
+	} {
+		var page []struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(body), &page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	code, body := get(t, ts, "/api/v1/timelines/public?local=true&limit=40&since_id=7")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if page := decode(body); len(page) != 3 || page[0].ID != "10" || page[2].ID != "8" {
+		t.Fatalf("since_id=7 page = %+v, want ids 10,9,8", page)
+	}
+	// The unbounded page renders independently of the cached delta page.
+	if _, body := get(t, ts, "/api/v1/timelines/public?local=true&limit=40"); len(decode(body)) != 10 {
+		t.Fatal("unbounded page shadowed by a cached since_id page")
+	}
+	// since_id at (or past) the newest toot is an empty page, not an error.
+	if code, body := get(t, ts, "/api/v1/timelines/public?local=true&since_id=10"); code != 200 || len(decode(body)) != 0 {
+		t.Fatalf("since_id=newest: %d %q", code, body)
+	}
+	// since_id composes with max_id paging: the window (2, 5) exclusive.
+	if _, body := get(t, ts, "/api/v1/timelines/public?local=true&since_id=2&max_id=5"); len(decode(body)) != 2 {
+		t.Fatalf("since_id+max_id window = %s", body)
+	}
+	// New content past the mark invalidates the cached delta page.
+	s.PostToot(context.Background(), "alice", "fresh", nil, t0)
+	if _, body := get(t, ts, "/api/v1/timelines/public?local=true&limit=40&since_id=7"); len(decode(body)) != 4 {
+		t.Fatalf("cached since_id page served stale after a post: %s", body)
 	}
 }
 

@@ -439,6 +439,14 @@ const (
 // newest), newest first — exactly the paging contract of Mastodon's
 // /api/v1/timelines/public. Private authors' toots are excluded.
 func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []*Toot {
+	return s.PublicTimelineSince(kind, maxID, 0, limit)
+}
+
+// PublicTimelineSince is PublicTimeline with Mastodon's since_id lower
+// bound: only toots with ID > sinceID are returned (0 = no bound). It is
+// the server half of incremental recrawls — a delta crawl resuming from a
+// high-water mark pages only the content that appeared after it.
+func (s *Server) PublicTimelineSince(kind Timeline, maxID, sinceID int64, limit int) []*Toot {
 	if limit <= 0 {
 		limit = 20
 	}
@@ -456,6 +464,9 @@ func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []*Toot {
 	out := make([]*Toot, 0, limit)
 	for i := hi - 1; i >= 0 && len(out) < limit; i-- {
 		t := src[i]
+		if t.ID <= sinceID {
+			break // ascending ids: everything below is older still
+		}
 		if !t.Remote {
 			if acct := s.accounts[t.Author.User]; acct != nil && acct.Private {
 				continue

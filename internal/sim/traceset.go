@@ -69,6 +69,26 @@ func (ts *TraceSet) OutagesOf(i int32, fromSlot, toSlot int) []Outage {
 	return ts.Traces[i].Outages(fromSlot, toSlot)
 }
 
+// Window returns a new trace set covering slots [from, to) of every trace —
+// the per-window view an incremental recrawl merges one campaign at a time.
+// Bounds must satisfy 0 <= from <= to <= Slots().
+func (ts *TraceSet) Window(from, to int) *TraceSet {
+	if from < 0 || to < from || (len(ts.Traces) > 0 && to > ts.Slots()) {
+		panic(fmt.Sprintf("sim: window [%d,%d) outside [0,%d)", from, to, ts.Slots()))
+	}
+	out := &TraceSet{SlotsPerDay: ts.SlotsPerDay, Traces: make([]*Trace, len(ts.Traces))}
+	for i, t := range ts.Traces {
+		w := NewTrace(to - from)
+		for s := from; s < to; s++ {
+			if t.IsDown(s) {
+				w.SetDown(s - from)
+			}
+		}
+		out.Traces[i] = w
+	}
+	return out
+}
+
 // SimultaneousDown returns the trace that is down exactly when every listed
 // instance is down — the signal used to declare an AS-wide failure
 // (Table 1). It panics on an empty id list.

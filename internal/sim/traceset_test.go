@@ -143,3 +143,32 @@ func TestTraceSetRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceSetWindow(t *testing.T) {
+	ts := NewTraceSet(2, 1, 10)
+	ts.Traces[0].SetDownRange(2, 5)
+	ts.Traces[1].SetDown(9)
+	w := ts.Window(3, 10)
+	if w.Len() != 2 || w.Slots() != 7 || w.SlotsPerDay != 10 {
+		t.Fatalf("window geometry: len=%d slots=%d spd=%d", w.Len(), w.Slots(), w.SlotsPerDay)
+	}
+	if got := w.Traces[0].Outages(0, 7); len(got) != 1 || got[0] != (Outage{Start: 0, End: 2}) {
+		t.Fatalf("window outages = %v, want clipped [0,2)", got)
+	}
+	if !w.Traces[1].IsDown(6) || w.Traces[1].CountDown(0, 7) != 1 {
+		t.Fatal("window lost the final down slot")
+	}
+	// The source set is untouched and an empty window is legal.
+	if ts.Slots() != 10 || ts.Traces[0].CountDown(0, 10) != 3 {
+		t.Fatal("Window mutated its source")
+	}
+	if e := ts.Window(4, 4); e.Slots() != 0 {
+		t.Fatal("empty window has slots")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range window did not panic")
+		}
+	}()
+	ts.Window(3, 11)
+}

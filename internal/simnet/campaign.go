@@ -24,6 +24,12 @@ type CampaignConfig struct {
 	ProbeWorkers  int
 	CrawlWorkers  int
 	ScrapeWorkers int
+	// Resume, when set, runs the campaign as a delta window over the
+	// checkpointed one: the toot crawl fetches only content past each
+	// domain's high-water mark (since_id), and the follower scrape covers
+	// the union of carried and newly seen authors. StartSlot must be the
+	// slot right after the checkpointed window.
+	Resume *Checkpoint
 }
 
 // CampaignResult carries everything the simulated measurement campaign
@@ -39,8 +45,9 @@ type CampaignResult struct {
 	Crawls  []crawler.InstanceCrawl
 	Authors []string
 	Scrape  crawler.ScrapeResult
-	// FinalSlot is the slot whose availability was live during the crawl
-	// and scrape phases.
+	// StartSlot/FinalSlot bound the probed window; FinalSlot's
+	// availability was live during the crawl and scrape phases.
+	StartSlot int
 	FinalSlot int
 }
 
@@ -82,8 +89,19 @@ func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaig
 
 	finalSlot := cfg.StartSlot + cfg.Slots - 1
 	tc := &crawler.TootCrawler{Client: h.Client, Workers: cfg.CrawlWorkers, Local: true}
+	if cfg.Resume != nil {
+		if cfg.StartSlot != cfg.Resume.StartSlot+cfg.Resume.Slots {
+			panic("simnet: delta campaign must start right after its checkpointed window")
+		}
+		tc.Since = cfg.Resume.HighWater
+	}
 	crawls := tc.Crawl(ctx, domains)
-	authors := crawler.Authors(crawls)
+	var authors []string
+	if cfg.Resume != nil {
+		authors = UnionAuthors(cfg.Resume, crawls)
+	} else {
+		authors = crawler.Authors(crawls)
+	}
 	fs := &crawler.FollowerScraper{Client: h.Client, Workers: cfg.ScrapeWorkers}
 	scrape := fs.Scrape(ctx, authors)
 	if err := ctx.Err(); err != nil {
@@ -98,6 +116,7 @@ func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaig
 		Crawls:    crawls,
 		Authors:   authors,
 		Scrape:    scrape,
+		StartSlot: cfg.StartSlot,
 		FinalSlot: finalSlot,
 	}, nil
 }

@@ -1,12 +1,10 @@
 package simnet
 
 import (
-	"sort"
 	"strings"
 
 	"repro/internal/crawler"
 	"repro/internal/dataset"
-	"repro/internal/graph"
 	"repro/internal/instance"
 	"repro/internal/sim"
 )
@@ -16,77 +14,29 @@ import (
 // dataset.World, and ExpectedWorld derives — from generated ground truth
 // and the §3 coverage rules — exactly what a flawless campaign must
 // recover. A correct pipeline makes the two identical, byte for byte.
+// Both builders normalise through dataset.Assemble, the same constructor
+// the incremental-recrawl merge uses, so every world in the system is
+// built one way.
 
-// worldParts is the normalised input both world builders produce; assemble
-// turns it into a dataset.World one way, so recovered and expected worlds
-// can only differ where the underlying data differs.
-type worldParts struct {
-	instances []dataset.Instance
-	accounts  map[string]struct{} // every observed user@domain
-	tootsOf   map[string]int      // public toots per account
-	edges     []crawler.Edge      // follower → followee
-	traces    *sim.TraceSet
-	days      int
-}
-
-// assemble builds the world: dense user ids in sorted account order, the
-// social graph with edges inserted in sorted order, and the federation
-// graph induced from it. It returns the world plus the account name of
-// every user id.
-func assemble(p worldParts) (*dataset.World, []string) {
-	instIdx := make(map[string]int32, len(p.instances))
-	for i := range p.instances {
-		instIdx[p.instances[i].Domain] = int32(i)
-	}
-	names := make([]string, 0, len(p.accounts))
-	for acct := range p.accounts {
-		if _, domain, ok := crawler.SplitAcct(acct); ok {
-			if _, known := instIdx[domain]; known {
-				names = append(names, acct)
-			}
+// sampleMeta reduces a domain's probe samples to the §3 instance metadata:
+// the last online sample wins; a domain never seen online contributes
+// nothing (Seen=false).
+func sampleMeta(samples []crawler.Sample) dataset.WindowMeta {
+	var m dataset.WindowMeta
+	for k := range samples {
+		if !samples[k].Online {
+			continue
 		}
-	}
-	sort.Strings(names)
-	idx := make(map[string]int32, len(names))
-	users := make([]dataset.User, len(names))
-	for i, acct := range names {
-		idx[acct] = int32(i)
-		_, domain, _ := crawler.SplitAcct(acct)
-		users[i] = dataset.User{
-			ID:       int32(i),
-			Instance: instIdx[domain],
-			Toots:    p.tootsOf[acct],
+		m.Seen = true
+		m.Software = dataset.SoftwareMastodon
+		if strings.Contains(samples[k].Version, "Pleroma") {
+			m.Software = dataset.SoftwarePleroma
 		}
+		m.Open = samples[k].Open
+		m.Users = samples[k].Users
+		m.Toots = samples[k].Toots
 	}
-
-	edges := append([]crawler.Edge(nil), p.edges...)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
-		}
-		return edges[i].To < edges[j].To
-	})
-	social := graph.NewDirected(len(users))
-	for _, e := range edges {
-		from, okF := idx[e.From]
-		to, okT := idx[e.To]
-		if okF && okT {
-			social.AddEdge(from, to)
-		}
-	}
-	group := make([]int32, len(users))
-	for i := range users {
-		group[i] = users[i].Instance
-	}
-	w := &dataset.World{
-		Days:       p.days,
-		Instances:  p.instances,
-		Users:      users,
-		Social:     social,
-		Federation: social.Induce(group, len(p.instances)),
-		Traces:     p.traces,
-	}
-	return w, names
+	return m
 }
 
 // Rebuild reconstructs a world from campaign artefacts only — nothing from
@@ -95,49 +45,39 @@ func assemble(p worldParts) (*dataset.World, []string) {
 // crawl, the social graph from the follower scrape, and the availability
 // traces from the probe log.
 func Rebuild(res *CampaignResult) (*dataset.World, []string) {
-	parts := worldParts{
-		accounts: make(map[string]struct{}),
-		tootsOf:  make(map[string]int),
-		traces:   res.Traces,
-		days:     res.Traces.Slots() / dataset.SlotsPerDay,
+	parts := dataset.WorldParts{
+		Accounts: make(map[string]struct{}),
+		TootsOf:  make(map[string]int),
+		Traces:   res.Traces,
+		Days:     res.Traces.Slots() / dataset.SlotsPerDay,
 	}
-	parts.instances = make([]dataset.Instance, len(res.Domains))
+	parts.Instances = make([]dataset.Instance, len(res.Domains))
 	for i, d := range res.Domains {
 		in := dataset.Instance{ID: int32(i), Domain: d, GoneDay: -1}
-		var last *crawler.Sample
-		samples := res.Log.Samples(d)
-		for k := range samples {
-			if samples[k].Online {
-				last = &samples[k]
-			}
+		if m := sampleMeta(res.Log.Samples(d)); m.Seen {
+			in.Software = m.Software
+			in.Open = m.Open
+			in.Users = m.Users
+			in.Toots = m.Toots
 		}
-		if last != nil {
-			in.Software = dataset.SoftwareMastodon
-			if strings.Contains(last.Version, "Pleroma") {
-				in.Software = dataset.SoftwarePleroma
-			}
-			in.Open = last.Open
-			in.Users = last.Users
-			in.Toots = last.Toots
-		}
-		parts.instances[i] = in
+		parts.Instances[i] = in
 	}
 	for i := range res.Crawls {
 		c := &res.Crawls[i]
 		if c.Blocked {
-			parts.instances[i].BlocksCrawl = true
+			parts.Instances[i].BlocksCrawl = true
 		}
 		for _, t := range c.Toots {
-			parts.accounts[t.Acct] = struct{}{}
-			parts.tootsOf[t.Acct]++
+			parts.Accounts[t.Acct] = struct{}{}
+			parts.TootsOf[t.Acct]++
 		}
 	}
 	for _, e := range res.Scrape.Edges {
-		parts.accounts[e.From] = struct{}{}
-		parts.accounts[e.To] = struct{}{}
+		parts.Accounts[e.From] = struct{}{}
+		parts.Accounts[e.To] = struct{}{}
 	}
-	parts.edges = res.Scrape.Edges
-	return assemble(parts)
+	parts.Edges = res.Scrape.Edges
+	return dataset.Assemble(parts)
 }
 
 // ExpectedConfig mirrors the campaign parameters that shape coverage.
@@ -163,10 +103,10 @@ func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []stri
 	finalSlot := cfg.StartSlot + cfg.Slots - 1
 	upAt := func(i int32, slot int) bool { return !w.Traces.Traces[i].IsDown(slot) }
 
-	parts := worldParts{
-		accounts: make(map[string]struct{}),
-		tootsOf:  make(map[string]int),
-		days:     cfg.Slots / dataset.SlotsPerDay,
+	parts := dataset.WorldParts{
+		Accounts: make(map[string]struct{}),
+		TootsOf:  make(map[string]int),
+		Days:     cfg.Slots / dataset.SlotsPerDay,
 	}
 
 	// Per-instance loaded toot counters (what the live servers report).
@@ -179,7 +119,7 @@ func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []stri
 		loadedToots[u.Instance] += int64(c)
 	}
 
-	parts.instances = make([]dataset.Instance, len(w.Instances))
+	parts.Instances = make([]dataset.Instance, len(w.Instances))
 	for i := range w.Instances {
 		truth := &w.Instances[i]
 		in := dataset.Instance{ID: int32(i), Domain: truth.Domain, GoneDay: -1}
@@ -199,7 +139,7 @@ func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []stri
 		if truth.BlocksCrawl && upAt(int32(i), finalSlot) {
 			in.BlocksCrawl = true
 		}
-		parts.instances[i] = in
+		parts.Instances[i] = in
 	}
 
 	// Visible authors and their followers.
@@ -213,16 +153,16 @@ func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []stri
 			continue
 		}
 		acct := acctOf(u)
-		parts.accounts[acct] = struct{}{}
+		parts.Accounts[acct] = struct{}{}
 		c := u.Toots
 		if c > cap {
 			c = cap
 		}
-		parts.tootsOf[acct] = c
+		parts.TootsOf[acct] = c
 		for _, v := range w.Social.In(int32(ui)) {
 			follower := acctOf(&w.Users[v])
-			parts.accounts[follower] = struct{}{}
-			parts.edges = append(parts.edges, crawler.Edge{From: follower, To: acct})
+			parts.Accounts[follower] = struct{}{}
+			parts.Edges = append(parts.Edges, crawler.Edge{From: follower, To: acct})
 		}
 	}
 
@@ -237,7 +177,7 @@ func ExpectedWorld(w *dataset.World, cfg ExpectedConfig) (*dataset.World, []stri
 		}
 		ts.Traces[i] = tr
 	}
-	parts.traces = ts
+	parts.Traces = ts
 
-	return assemble(parts)
+	return dataset.Assemble(parts)
 }

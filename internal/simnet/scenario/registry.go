@@ -8,9 +8,10 @@ import (
 // builders maps scenario names to their constructors. Seed 0 means the
 // scenario's default seed (the one its assertions are tuned for).
 var builders = map[string]func(seed uint64) *Scenario{
-	"outage-storm":       OutageStorm,
-	"churn-during-crawl": ChurnDuringCrawl,
-	"live-replication":   LiveReplication,
+	"outage-storm":        OutageStorm,
+	"churn-during-crawl":  ChurnDuringCrawl,
+	"live-replication":    LiveReplication,
+	"incremental-recrawl": IncrementalRecrawl,
 }
 
 // Names lists the registered scenario names, sorted.

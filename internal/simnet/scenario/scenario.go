@@ -161,6 +161,7 @@ func (r *Run) CrawlNow(ctx context.Context) (*Snapshot, error) {
 		Crawls:    crawls,
 		Authors:   authors,
 		Scrape:    scrape,
+		StartSlot: sc.StartSlot,
 		FinalSlot: sc.StartSlot + r.rounds - 1,
 	}
 	w, names := simnet.Rebuild(res)

@@ -94,12 +94,39 @@ func TestScenarioLiveReplication(t *testing.T) {
 	}
 }
 
+// TestScenarioIncrementalRecrawl: the delta recrawl merged into window A's
+// world must be byte-identical to the engine's own full-window crawl, must
+// fetch exactly the content posted after the checkpoint, and must cost a
+// fraction of the full crawl's toot volume.
+func TestScenarioIncrementalRecrawl(t *testing.T) {
+	rep := runTwice(t, IncrementalRecrawl)
+	if rep.MustMetric("merge.byte_equal") != 1 {
+		t.Fatal("merged world not byte-identical to the full-window crawl")
+	}
+	if got, want := rep.MustMetric("crawl.new_toots"), rep.MustMetric("posts.fresh"); got != want || got == 0 {
+		t.Fatalf("delta crawl fetched %.0f new toots, want the %.0f posted mid-window", got, want)
+	}
+	if dt, ft := rep.MustMetric("crawl.delta_toots"), rep.MustMetric("crawl.full_toots"); dt*2 >= ft {
+		t.Fatalf("delta crawl (%.0f toots) is not substantially cheaper than the full crawl (%.0f)", dt, ft)
+	}
+	series := rep.Series
+	found := false
+	for _, s := range series {
+		if s.Name == "downtime.window_mean" && len(s.Values) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("per-window downtime series missing from the report")
+	}
+}
+
 // TestScenarioRegistry: the registry resolves every name and rejects
 // unknowns.
 func TestScenarioRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 3 {
-		t.Fatalf("registry has %d scenarios, want 3", len(names))
+	if len(names) != 4 {
+		t.Fatalf("registry has %d scenarios, want 4", len(names))
 	}
 	for _, n := range names {
 		sc, err := ByName(n, 0)
