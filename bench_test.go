@@ -872,3 +872,79 @@ func BenchmarkWorldSaveLoad(b *testing.B) {
 		}
 	}
 }
+
+// Columnar world file vs the legacy gzip+gob encoding (ablation pairs
+// WorldSave/AblationWorldSaveGob and WorldLoad/AblationWorldLoadGob).
+
+func BenchmarkWorldSave(b *testing.B) {
+	w := benchWorld(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkAblationWorldSaveGob(b *testing.B) {
+	w := benchWorld(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.SaveGob(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkWorldLoad(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchWorld(b).Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Load(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWorldLoadGob(b *testing.B) {
+	var buf bytes.Buffer
+	if err := benchWorld(b).SaveGob(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.LoadGob(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sharded generation with one worker per CPU vs forced single-shard
+// (ablation pair GenerateParallel/AblationGenerateShard1). Output bytes
+// are identical either way; only wall time differs.
+
+func benchGenerate(b *testing.B, shards int) {
+	b.Helper()
+	cfg := gen.SmallConfig(1)
+	cfg.Shards = shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Generate(cfg)
+	}
+}
+
+func BenchmarkGenerateParallel(b *testing.B)       { benchGenerate(b, 0) }
+func BenchmarkAblationGenerateShard1(b *testing.B) { benchGenerate(b, 1) }

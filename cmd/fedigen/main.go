@@ -1,9 +1,9 @@
 // Command fedigen generates a synthetic fediverse world and writes it to a
-// compressed world file for the other tools.
+// columnar world file for the other tools.
 //
 // Usage:
 //
-//	fedigen -scale small -seed 1 -out world.fedi
+//	fedigen -config paper -seed 1 -shards 8 -out world.fedi
 package main
 
 import (
@@ -13,25 +13,40 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gen"
 )
 
 func main() {
-	scale := flag.String("scale", "small", "world scale: tiny | small | paper")
+	config := flag.String("config", "", "world preset: tiny | small | paper")
+	scale := flag.String("scale", "small", "alias of -config (kept for older scripts)")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	shards := flag.Int("shards", 0, "generation shards (0 = one per CPU; output is identical for any value)")
 	out := flag.String("out", "world.fedi", "output world file")
 	flag.Parse()
 
-	start := time.Now()
-	w, err := core.BuildWorld(core.Scale(*scale), *seed)
+	preset := *scale
+	if *config != "" {
+		preset = *config
+	}
+	cfg, err := core.ConfigForScale(core.Scale(preset), *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedigen:", err)
 		os.Exit(2)
 	}
+	cfg.Shards = *shards
+
+	start := time.Now()
+	w := gen.Generate(cfg)
 	if err := w.SaveFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "fedigen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("generated %d instances / %d users / %d toots in %v → %s\n",
-		len(w.Instances), len(w.Users), w.TotalToots(), time.Since(start).Round(time.Millisecond), *out)
+	written := int64(-1)
+	if st, err := os.Stat(*out); err == nil {
+		written = st.Size()
+	}
+	fmt.Printf("generated %d instances / %d accounts / %d toots, %d bytes written in %v → %s\n",
+		len(w.Instances), len(w.Users), w.TotalToots(), written,
+		time.Since(start).Round(time.Millisecond), *out)
 	fmt.Print(core.Summary(w))
 }

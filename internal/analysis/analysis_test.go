@@ -20,7 +20,7 @@ var (
 // smallWorld caches the Small-scale world all analysis shape tests share.
 func smallWorld(t *testing.T) *dataset.World {
 	t.Helper()
-	worldOnce.Do(func() { world = gen.Generate(gen.SmallConfig(1)) })
+	worldOnce.Do(func() { world = gen.Generate(gen.SmallConfig(15)) })
 	return world
 }
 

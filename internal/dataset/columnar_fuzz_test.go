@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWorldFile throws arbitrary bytes at the world-file decoder. The
+// contract under fuzz: Load never panics and never allocates past the
+// decode budget; any input it does accept must re-encode into a
+// byte-stable, re-loadable columnar file (decode is a retraction onto the
+// canonical encoding).
+func FuzzWorldFile(f *testing.F) {
+	valid := func(w *World) []byte {
+		var buf bytes.Buffer
+		if err := w.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sample := valid(sampleWorld())
+	f.Add(sample)
+	f.Add(sample[:len(sample)/2])
+	f.Add(valid(&World{Seed: 1}))
+	var gobBuf bytes.Buffer
+	if err := sampleWorld().SaveGob(&gobBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gobBuf.Bytes())
+	f.Add([]byte("FDWC"))
+	f.Add([]byte{'F', 'D', 'W', 'C', 1, secHeader, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func(old int64) { colDecodeBudget = old }(colDecodeBudget)
+		colDecodeBudget = 1 << 26 // keep hostile headers cheap under fuzz
+		w, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := w.Save(&first); err != nil {
+			t.Fatalf("accepted world does not re-save: %v", err)
+		}
+		back, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded world does not re-load: %v", err)
+		}
+		var second bytes.Buffer
+		if err := back.Save(&second); err != nil {
+			t.Fatalf("re-loaded world does not re-save: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("canonical re-encoding is not byte-stable")
+		}
+	})
+}

@@ -12,10 +12,14 @@ import (
 	"repro/internal/sim"
 )
 
-// World files are gob-encoded and gzip-compressed; the two graphs and the
-// probe traces use their own compact binary encodings nested inside.
+// The original world file format: gob-encoded and gzip-compressed, the two
+// graphs and the probe traces nested as their own compact binary encodings.
+// It buffers the whole world on both sides, so it tops out well short of
+// paper scale; Save/Load now use the columnar format (columnar.go) and keep
+// this one as the legacy reader (Load sniffs the gzip magic) and as the
+// baseline side of the WorldSave/WorldLoad ablation benchmarks.
 
-// worldFile is the serialisable shell of a World.
+// worldFile is the serialisable shell of a World in the legacy gob format.
 type worldFile struct {
 	Seed           uint64
 	Days           int
@@ -28,8 +32,8 @@ type worldFile struct {
 	CertOutageDays map[int32][]int
 }
 
-// Save writes the world to w (gzip + gob).
-func (w *World) Save(out io.Writer) error {
+// SaveGob writes the world to w in the legacy gzip+gob format.
+func (w *World) SaveGob(out io.Writer) error {
 	zw := gzip.NewWriter(out)
 	var wf worldFile
 	wf.Seed = w.Seed
@@ -56,8 +60,9 @@ func (w *World) Save(out io.Writer) error {
 	return zw.Close()
 }
 
-// Load reads a world written by Save.
-func Load(in io.Reader) (*World, error) {
+// LoadGob reads a world written by SaveGob (or by Save before the columnar
+// format).
+func LoadGob(in io.Reader) (*World, error) {
 	zr, err := gzip.NewReader(in)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: open world: %w", err)

@@ -12,7 +12,6 @@ func genBlocks(cfg Config, insts []dataset.Instance) {
 	if cfg.BlockProb <= 0 || cfg.BlockMaxTargets <= 0 {
 		return
 	}
-	r := subSeed(cfg.Seed, 5)
 
 	allows := func(in *dataset.Instance, a dataset.Activity) bool {
 		for _, x := range in.Allowed {
@@ -41,25 +40,30 @@ func genBlocks(cfg Config, insts []dataset.Instance) {
 		return
 	}
 
-	for i := range insts {
-		in := &insts[i]
-		strict := prohibits(in, dataset.ActSpam) || prohibits(in, dataset.ActPornNoNSFW)
-		if !strict {
-			continue
-		}
-		// Sample a bounded random subset of offenders.
-		perm := r.Perm(len(offenders))
-		for _, oi := range perm {
-			if len(in.Blocks) >= cfg.BlockMaxTargets {
-				break
-			}
-			target := offenders[oi]
-			if target == int32(i) {
+	// Each strict instance samples its blocklist from its own
+	// (seed, stageBlocks, id) stream against the shared offender pool.
+	cfg.runShards(len(insts), func(src *unitSource, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			in := &insts[i]
+			strict := prohibits(in, dataset.ActSpam) || prohibits(in, dataset.ActPornNoNSFW)
+			if !strict {
 				continue
 			}
-			if r.Float64() < cfg.BlockProb {
-				in.Blocks = append(in.Blocks, target)
+			r := src.unit(stageBlocks, uint64(i))
+			// Sample a bounded random subset of offenders.
+			perm := r.Perm(len(offenders))
+			for _, oi := range perm {
+				if len(in.Blocks) >= cfg.BlockMaxTargets {
+					break
+				}
+				target := offenders[oi]
+				if target == int32(i) {
+					continue
+				}
+				if r.Float64() < cfg.BlockProb {
+					in.Blocks = append(in.Blocks, target)
+				}
 			}
 		}
-	}
+	})
 }

@@ -13,6 +13,13 @@ package gen
 type Config struct {
 	Seed uint64
 
+	// Shards is an execution-only knob: how many workers generate the world
+	// in parallel (0 means one per available CPU). Every unit of work draws
+	// from its own (seed, stage, unit) random stream, so the output is
+	// byte-identical for any shard count — Shards is not part of a world's
+	// generative identity and never changes its bytes.
+	Shards int
+
 	// Population scale.
 	Instances int // number of instances (paper: 4,328)
 	Users     int // number of user accounts (paper: 853K in G(V,E))
@@ -217,13 +224,14 @@ func SmallConfig(seed uint64) Config {
 }
 
 // PaperConfig reproduces the paper's full population: 4,328 instances and
-// 853K accounts over 473 days. Building it takes tens of seconds and a few
-// GB of memory; use cmd/fedigen.
+// the 2.4M registered accounts of §3 (853K of which sit in the crawled
+// G(V,E) subgraph) over 473 days. Building it takes minutes and a few GB of
+// memory; use cmd/fedigen.
 func PaperConfig(seed uint64) Config {
 	c := baseConfig()
 	c.Seed = seed
 	c.Instances = 4328
-	c.Users = 853000
+	c.Users = 2_400_000
 	c.Days = 473
 	c.MassExpiryDay = 468 // July 23, 2018: the 105-instance expiry batch
 	return c

@@ -5,8 +5,10 @@ import (
 )
 
 // Generate builds a complete synthetic world from the configuration. The
-// stages run in a fixed order, each on an independent deterministic random
-// stream, so tweaking one stage's parameters does not perturb the others.
+// stages run in a fixed order, each drawing from independent deterministic
+// per-unit random streams (see shard.go), so tweaking one stage's parameters
+// does not perturb the others and the result is byte-identical for any
+// cfg.Shards or GOMAXPROCS.
 func Generate(cfg Config) *dataset.World {
 	if cfg.Instances <= 0 || cfg.Users <= 0 || cfg.Days <= 0 {
 		panic("gen: Config needs positive Instances, Users and Days")

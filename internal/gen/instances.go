@@ -93,9 +93,11 @@ func maxInt(a, b int) int {
 }
 
 // genInstances builds the instance population: sizes, placement, policies
-// and lifecycle. Users are not yet attached (genUsers does that).
+// and lifecycle. Users are not yet attached (genUsers does that). Each
+// instance synthesises itself from its own (seed, stageInstance, id) stream,
+// so the population can be built on any number of shards without changing a
+// byte.
 func genInstances(cfg Config) *instanceModel {
-	r := subSeed(cfg.Seed, 1)
 	n := cfg.Instances
 
 	countries := countryTable()
@@ -104,7 +106,7 @@ func genInstances(cfg Config) *instanceModel {
 	// 1. Size ladder: users per instance, largest first, then shuffled onto
 	// instance ids so id order carries no meaning.
 	sizes := zipfMandelbrot(n, cfg.SizeExponent, cfg.SizeOffset, cfg.Users)
-	perm := r.Perm(n)
+	perm := subSeed(cfg.Seed, stagePerm).Perm(n)
 
 	m := &instanceModel{
 		insts:     make([]dataset.Instance, n),
@@ -142,136 +144,135 @@ func genInstances(cfg Config) *instanceModel {
 	acts := activityTable()
 
 	hubCut := n / 10 // top decile by size
+	massIssued := cfg.MassExpiryDay - cfg.CertRenewDays
 
-	for rank := 0; rank < n; rank++ {
-		id := perm[rank]
-		in := &m.insts[id]
-		in.ID = int32(id)
-		in.Domain = fmt.Sprintf("instance-%04d.fedi.test", id)
-		in.Users = sizes[rank]
-		m.sizeRank[id] = rank
-		isHub := rank < hubCut
-		pct := float64(rank) / float64(n)
+	cfg.runShards(n, func(src *unitSource, lo, hi int) {
+		for rank := lo; rank < hi; rank++ {
+			id := perm[rank]
+			r := src.unit(stageInstance, uint64(id))
+			in := &m.insts[id]
+			in.ID = int32(id)
+			in.Domain = fmt.Sprintf("instance-%04d.fedi.test", id)
+			in.Users = sizes[rank]
+			m.sizeRank[id] = rank
+			isHub := rank < hubCut
+			pct := float64(rank) / float64(n)
 
-		// Software (§3).
-		if r.Float64() < cfg.PleromaFrac {
-			in.Software = dataset.SoftwarePleroma
-		} else {
-			in.Software = dataset.SoftwareMastodon
-		}
-
-		// Placement: country and AS sampled independently against their
-		// Fig 5 marginals (see DESIGN.md on the Table 2 US-IP anomaly).
-		if isHub {
-			in.Country = countries[countryHubPick.sample(r)].Name
-			spec := asSpecs[asHubPick.sample(r)]
-			in.ASN = spec.ASN
-		} else {
-			in.Country = countries[countryPick.sample(r)].Name
-			spec := asSpecs[asPick.sample(r)]
-			in.ASN = spec.ASN
-		}
-		in.IP = fmt.Sprintf("10.%d.%d.%d", (id>>16)&255, (id>>8)&255, id&255)
-		in.CA = cas[caPick.sample(r)].Name
-
-		// Registration type (§4.1): larger instances are likelier open.
-		pOpen := clamp(cfg.OpenFrac+cfg.OpenSizeBias*(0.5-pct), 0.05, 0.95)
-		in.Open = r.Float64() < pOpen
-
-		// Activity level (Fig 2c): closed instances are more engaged.
-		if in.Open {
-			in.MaxWeeklyActivePct = clamp(50+15*r.NormFloat64(), 2, 100)
-		} else {
-			in.MaxWeeklyActivePct = clamp(75+12*r.NormFloat64(), 2, 100)
-		}
-
-		// Categories (Fig 3).
-		m.tootBoost[id] = 1.0
-		if r.Float64() < cfg.CategorizedFrac {
-			in.Categorized = true
-			if r.Float64() < 0.517 {
-				in.Categories = append(in.Categories, dataset.CatGeneric)
+			// Software (§3).
+			if r.Float64() < cfg.PleromaFrac {
+				in.Software = dataset.SoftwarePleroma
+			} else {
+				in.Software = dataset.SoftwareMastodon
 			}
-			for _, cs := range cats {
-				p := cs.Share
-				if isHub {
-					p *= cs.HeadShare
-				} else {
-					// Keep the overall share on target given the head boost.
-					p *= (1 - cs.HeadShare*0.1) / 0.9
-				}
-				if r.Float64() < clamp(p, 0, 1) {
-					in.Categories = append(in.Categories, cs.Cat)
-					m.tootBoost[id] *= cs.TootBoost
-				}
-			}
-		}
 
-		// Activity policies (Fig 4).
-		in.Operator = pickOperator(r, isHub)
-		if r.Float64() < cfg.AllowAllFrac {
-			for _, as := range acts {
-				in.Allowed = append(in.Allowed, as.Act)
+			// Placement: country and AS sampled independently against their
+			// Fig 5 marginals (see DESIGN.md on the Table 2 US-IP anomaly).
+			if isHub {
+				in.Country = countries[countryHubPick.sample(r)].Name
+				spec := asSpecs[asHubPick.sample(r)]
+				in.ASN = spec.ASN
+			} else {
+				in.Country = countries[countryPick.sample(r)].Name
+				spec := asSpecs[asPick.sample(r)]
+				in.ASN = spec.ASN
 			}
-		} else {
-			for _, as := range acts {
-				pProhibit := as.ProhibitProb
-				if isHub && as.AllowSizeBias != 1.0 {
-					// Size bias acts on the allow side.
-					pProhibit = clamp(1-(1-as.ProhibitProb)*as.AllowSizeBias, 0, 1)
+			in.IP = fmt.Sprintf("10.%d.%d.%d", (id>>16)&255, (id>>8)&255, id&255)
+			in.CA = cas[caPick.sample(r)].Name
+
+			// Registration type (§4.1): larger instances are likelier open.
+			pOpen := clamp(cfg.OpenFrac+cfg.OpenSizeBias*(0.5-pct), 0.05, 0.95)
+			in.Open = r.Float64() < pOpen
+
+			// Activity level (Fig 2c): closed instances are more engaged.
+			if in.Open {
+				in.MaxWeeklyActivePct = clamp(50+15*r.NormFloat64(), 2, 100)
+			} else {
+				in.MaxWeeklyActivePct = clamp(75+12*r.NormFloat64(), 2, 100)
+			}
+
+			// Categories (Fig 3).
+			m.tootBoost[id] = 1.0
+			if r.Float64() < cfg.CategorizedFrac {
+				in.Categorized = true
+				if r.Float64() < 0.517 {
+					in.Categories = append(in.Categories, dataset.CatGeneric)
 				}
-				if r.Float64() < pProhibit {
-					in.Prohibited = append(in.Prohibited, as.Act)
-				} else {
+				for _, cs := range cats {
+					p := cs.Share
+					if isHub {
+						p *= cs.HeadShare
+					} else {
+						// Keep the overall share on target given the head boost.
+						p *= (1 - cs.HeadShare*0.1) / 0.9
+					}
+					if r.Float64() < clamp(p, 0, 1) {
+						in.Categories = append(in.Categories, cs.Cat)
+						m.tootBoost[id] *= cs.TootBoost
+					}
+				}
+			}
+
+			// Activity policies (Fig 4).
+			in.Operator = pickOperator(r, isHub)
+			if r.Float64() < cfg.AllowAllFrac {
+				for _, as := range acts {
 					in.Allowed = append(in.Allowed, as.Act)
 				}
+			} else {
+				for _, as := range acts {
+					pProhibit := as.ProhibitProb
+					if isHub && as.AllowSizeBias != 1.0 {
+						// Size bias acts on the allow side.
+						pProhibit = clamp(1-(1-as.ProhibitProb)*as.AllowSizeBias, 0, 1)
+					}
+					if r.Float64() < pProhibit {
+						in.Prohibited = append(in.Prohibited, as.Act)
+					} else {
+						in.Allowed = append(in.Allowed, as.Act)
+					}
+				}
 			}
-		}
 
-		// Lifecycle (Fig 1): creation phase, and 21.3% churn limited to the
-		// smaller 80% of instances (the paper's vanished instances are
-		// long-tail ones). Instances on the Table-1 outage ASes are stable:
-		// they appeared early and survived the whole period (they failed
-		// *temporarily* with their AS and came back).
-		if plannedOutageASNs[in.ASN] {
-			in.CreatedDay = r.IntN(maxInt(int(float64(cfg.Days)*0.17), 1))
-			in.GoneDay = -1
-		} else {
-			in.CreatedDay = growthDay(r, cfg.Days)
-			in.GoneDay = -1
-			if pct > 0.2 && r.Float64() < cfg.ChurnFrac/0.8 {
-				span := cfg.Days - in.CreatedDay - 7
-				if span > 1 {
-					in.GoneDay = in.CreatedDay + 7 + r.IntN(span)
+			// Lifecycle (Fig 1): creation phase, and 21.3% churn limited to the
+			// smaller 80% of instances (the paper's vanished instances are
+			// long-tail ones). Instances on the Table-1 outage ASes are stable:
+			// they appeared early and survived the whole period (they failed
+			// *temporarily* with their AS and came back).
+			if plannedOutageASNs[in.ASN] {
+				in.CreatedDay = r.IntN(maxInt(int(float64(cfg.Days)*0.17), 1))
+				in.GoneDay = -1
+			} else {
+				in.CreatedDay = growthDay(r, cfg.Days)
+				in.GoneDay = -1
+				if pct > 0.2 && r.Float64() < cfg.ChurnFrac/0.8 {
+					span := cfg.Days - in.CreatedDay - 7
+					if span > 1 {
+						in.GoneDay = in.CreatedDay + 7 + r.IntN(span)
+					}
+				}
+			}
+
+			// Crawlability (§3).
+			in.BlocksCrawl = r.Float64() < cfg.BlocksCrawlFrac
+
+			// Certificates (Fig 9): issued shortly after creation.
+			spread := cfg.CertIssuedSpread
+			if spread < 1 {
+				spread = 1
+			}
+			in.CertIssuedDay = in.CreatedDay + r.IntN(spread)
+
+			// Mass-expiry batch (Fig 9b): a share of Let's Encrypt instances
+			// were all issued on the same day, expiring together on
+			// MassExpiryDay.
+			if cfg.MassExpiryDay >= cfg.CertRenewDays &&
+				in.CA == "Let's Encrypt" && in.CreatedDay <= massIssued {
+				if r.Float64() < cfg.MassExpiryShare/0.855 {
+					in.CertIssuedDay = massIssued
 				}
 			}
 		}
-
-		// Crawlability (§3).
-		in.BlocksCrawl = r.Float64() < cfg.BlocksCrawlFrac
-
-		// Certificates (Fig 9): issued shortly after creation.
-		spread := cfg.CertIssuedSpread
-		if spread < 1 {
-			spread = 1
-		}
-		in.CertIssuedDay = in.CreatedDay + r.IntN(spread)
-	}
-
-	// Mass-expiry batch (Fig 9b): a share of Let's Encrypt instances were
-	// all issued on the same day, expiring together on MassExpiryDay.
-	if cfg.MassExpiryDay >= cfg.CertRenewDays {
-		issued := cfg.MassExpiryDay - cfg.CertRenewDays
-		for id := range m.insts {
-			in := &m.insts[id]
-			if in.CA != "Let's Encrypt" || in.CreatedDay > issued {
-				continue
-			}
-			if r.Float64() < cfg.MassExpiryShare/0.855 {
-				in.CertIssuedDay = issued
-			}
-		}
-	}
+	})
 
 	return m
 }

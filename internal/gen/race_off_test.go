@@ -1,0 +1,5 @@
+//go:build !race
+
+package gen
+
+const raceEnabled = false

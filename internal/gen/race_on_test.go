@@ -1,0 +1,7 @@
+//go:build race
+
+package gen
+
+// raceEnabled skips the paper-scale world build when the race detector is
+// on (it multiplies runtime and memory several-fold).
+const raceEnabled = true

@@ -16,42 +16,26 @@ import (
 // core — reproducing both the degree skew of Fig 11 and the extreme
 // fragility of Fig 12 (removing the top 1% of accounts collapses the LCC).
 func genSocial(cfg Config, insts []dataset.Instance, users []dataset.User, fame []float64) *graph.Directed {
-	r := subSeed(cfg.Seed, 3)
 	n := len(users)
-	g := graph.NewDirected(n)
 	if n < 2 {
-		return g
+		return graph.NewDirected(n)
 	}
 
 	// Out-degrees: power law scaled so the overall mean (including
-	// never-following accounts) hits MeanFollows.
+	// never-following accounts) hits MeanFollows. Each user draws its
+	// passivity, degree and every follow target from its own
+	// (seed, stageSocial, id) stream.
 	law := newPowerLaw(cfg.FollowExponent, cfg.FollowMax)
 	scale := cfg.MeanFollows / law.mean() / (1 - cfg.NoFollowFrac)
-	degrees := make([]int, n)
-	for i := range degrees {
-		if r.Float64() < cfg.NoFollowFrac {
-			continue // passive account: follows nobody
-		}
-		k := int(float64(law.sample(r))*scale + 0.5)
-		if k < 1 {
-			k = 1
-		}
-		if k > cfg.FollowMax {
-			k = cfg.FollowMax
-		}
-		if k > n-1 {
-			k = n - 1
-		}
-		degrees[i] = k
-	}
 
 	// A share of small instances never federate (§5.1's isolated tail that
 	// keeps the federation-graph LCC at ~92% of instances): their users
 	// follow only locally and are invisible to remote pickers.
 	median := medianUsers(insts)
 	isolated := make([]bool, len(insts))
+	isoSrc := newUnitSource(cfg.Seed)
 	for i := range insts {
-		if insts[i].Users <= median && r.Float64() < cfg.IsolatedFrac*2 {
+		if insts[i].Users <= median && isoSrc.unit(stageIsolated, uint64(i)).Float64() < cfg.IsolatedFrac*2 {
 			isolated[i] = true
 		}
 	}
@@ -103,54 +87,75 @@ func genSocial(cfg Config, insts []dataset.Instance, users []dataset.User, fame 
 		}
 	}
 
-	order := r.Perm(n)
 	pInstUniform := cfg.UniformFrac + cfg.InstanceUniformFrac
 	pLocal := pInstUniform + cfg.LocalBias
 	pCountry := pLocal + (1-pLocal)*cfg.CountryBias
-	for _, ui := range order {
-		u := int32(ui)
-		want := degrees[ui]
-		if want == 0 {
-			continue
-		}
-		inst := users[ui].Instance
-		if isolated[inst] && len(instUsers[inst]) < 2 {
-			continue // a lone user on an isolated instance has nobody to follow
-		}
-		c := userCountry[ui]
-		seen := make(map[int32]struct{}, want)
-		attempts := 0
-		for added := 0; added < want && attempts < want*20+50; attempts++ {
-			var v int32
-			x := r.Float64()
-			switch {
-			case isolated[inst]:
-				v = instS[inst].sample(r)
-			case x < cfg.UniformFrac:
-				v = all[r.IntN(len(all))]
-			case x < pInstUniform:
-				ri := fedInsts[r.IntN(len(fedInsts))]
-				pool := instUsers[ri]
-				v = pool[r.IntN(len(pool))]
-			case x < pLocal:
-				v = instS[inst].sample(r)
-			case x < pCountry:
-				v = countryS[c].sample(r)
-			default:
-				v = global.sample(r)
+
+	// Each shard grows its users' adjacency rows in a worker-local arena;
+	// rows are immutable once cut, so later arena growth never aliases them.
+	// The in-adjacency is rebuilt canonically from the rows at the end.
+	out := make([][]int32, n)
+	meanDeg := int(cfg.MeanFollows) + 2
+	cfg.runShards(n, func(src *unitSource, lo, hi int) {
+		arena := make([]int32, 0, (hi-lo)*meanDeg)
+		seen := make(map[int32]struct{}, 64)
+		for ui := lo; ui < hi; ui++ {
+			r := src.unit(stageSocial, uint64(ui))
+			if r.Float64() < cfg.NoFollowFrac {
+				continue // passive account: follows nobody
 			}
-			if v == u {
-				continue
+			want := int(float64(law.sample(r))*scale + 0.5)
+			if want < 1 {
+				want = 1
 			}
-			if _, dup := seen[v]; dup {
-				continue
+			if want > cfg.FollowMax {
+				want = cfg.FollowMax
 			}
-			seen[v] = struct{}{}
-			g.AddEdge(u, v)
-			added++
+			if want > n-1 {
+				want = n - 1
+			}
+			u := int32(ui)
+			inst := users[ui].Instance
+			if isolated[inst] && len(instUsers[inst]) < 2 {
+				continue // a lone user on an isolated instance has nobody to follow
+			}
+			c := userCountry[ui]
+			clear(seen)
+			rowStart := len(arena)
+			attempts := 0
+			for added := 0; added < want && attempts < want*20+50; attempts++ {
+				var v int32
+				x := r.Float64()
+				switch {
+				case isolated[inst]:
+					v = instS[inst].sample(r)
+				case x < cfg.UniformFrac:
+					v = all[r.IntN(len(all))]
+				case x < pInstUniform:
+					ri := fedInsts[r.IntN(len(fedInsts))]
+					pool := instUsers[ri]
+					v = pool[r.IntN(len(pool))]
+				case x < pLocal:
+					v = instS[inst].sample(r)
+				case x < pCountry:
+					v = countryS[c].sample(r)
+				default:
+					v = global.sample(r)
+				}
+				if v == u {
+					continue
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				arena = append(arena, v)
+				added++
+			}
+			out[ui] = arena[rowStart:len(arena):len(arena)]
 		}
-	}
-	return g
+	})
+	return graph.FromRows(out)
 }
 
 // medianUsers returns the median instance size.

@@ -14,87 +14,99 @@ import (
 // disappearance are marked down — that is literally what the mnm.social
 // prober would have observed.
 func genTraces(cfg Config, insts []dataset.Instance) (*sim.TraceSet, map[int32][]int) {
-	r := subSeed(cfg.Seed, 4)
 	spd := dataset.SlotsPerDay
 	ts := sim.NewTraceSet(len(insts), cfg.Days, spd)
-	certOutages := make(map[int32][]int)
 
-	for id := range insts {
-		in := &insts[id]
-		tr := ts.Traces[id]
-		start := in.CreatedDay * spd
-		end := cfg.Days * spd
-		if in.GoneDay >= 0 {
-			end = in.GoneDay * spd
-		}
-		// Pre-creation and post-churn slots: unreachable.
-		tr.SetDownRange(0, start)
-		tr.SetDownRange(end, cfg.Days*spd)
-		window := end - start
-		if window <= 0 {
-			continue
-		}
+	// Each instance draws its whole availability record from its own
+	// (seed, stageTraces, id) stream and writes only its own trace, so the
+	// per-instance loop shards freely. Cert-outage days land in an
+	// id-indexed table and are folded into the map afterwards.
+	certDays := make([][]int, len(insts))
+	cfg.runShards(len(insts), func(src *unitSource, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			r := src.unit(stageTraces, uint64(id))
+			in := &insts[id]
+			tr := ts.Traces[id]
+			start := in.CreatedDay * spd
+			end := cfg.Days * spd
+			if in.GoneDay >= 0 {
+				end = in.GoneDay * spd
+			}
+			// Pre-creation and post-churn slots: unreachable.
+			tr.SetDownRange(0, start)
+			tr.SetDownRange(end, cfg.Days*spd)
+			window := end - start
+			if window <= 0 {
+				continue
+			}
 
-		// Background outages up to the instance's target downtime share.
-		target := downtimeTarget(cfg, r, insts[id].Toots)
-		budget := int(target * float64(window))
-		for used := 0; used < budget; {
-			dur := expSlots(r, cfg.MeanOutageSlots, cfg.MinOutageSlots)
-			if r.Float64() < 0.003 {
-				dur *= 20 // occasional multi-day outage (Fig 10 tail)
-			}
-			if dur > budget-used {
-				dur = budget - used
-			}
-			if dur < 1 {
-				break
-			}
-			at := start + r.IntN(window)
-			if at+dur > end {
-				at = end - dur
-			}
-			tr.SetDownRange(at, at+dur)
-			used += dur
-		}
-
-		// A small share of instances take a month-plus hiatus and return
-		// (Fig 10: 7% of instances have ≥1-month continuous outages).
-		if minSlots := cfg.HiatusMinDays * spd; r.Float64() < cfg.HiatusFrac && window > minSlots*2 {
-			dur := minSlots + expSlots(r, cfg.HiatusMeanDays*float64(spd), 0)
-			if dur > window-spd {
-				dur = window - spd
-			}
-			at := start + r.IntN(window-dur)
-			tr.SetDownRange(at, at+dur)
-		}
-
-		// Certificate-expiry outages (only the dominant CA's short-lived
-		// certificates fail in practice; Fig 9b).
-		if in.CA == "Let's Encrypt" {
-			for _, day := range in.CertExpiryDays(cfg.Days, cfg.CertRenewDays) {
-				if day < in.CreatedDay || (in.GoneDay >= 0 && day >= in.GoneDay) {
-					continue
+			// Background outages up to the instance's target downtime share.
+			target := downtimeTarget(cfg, r, insts[id].Toots)
+			budget := int(target * float64(window))
+			for used := 0; used < budget; {
+				dur := expSlots(r, cfg.MeanOutageSlots, cfg.MinOutageSlots)
+				if r.Float64() < 0.003 {
+					dur *= 20 // occasional multi-day outage (Fig 10 tail)
 				}
-				massBatch := cfg.MassExpiryDay >= 0 && day == cfg.MassExpiryDay &&
-					in.CertIssuedDay == cfg.MassExpiryDay-cfg.CertRenewDays
-				if !massBatch && r.Float64() >= cfg.CertFailProb {
-					continue
+				if dur > budget-used {
+					dur = budget - used
 				}
-				at := day * spd
-				dur := expSlots(r, cfg.CertOutageDays*float64(spd), spd/2)
+				if dur < 1 {
+					break
+				}
+				at := start + r.IntN(window)
 				if at+dur > end {
-					dur = end - at
-				}
-				if dur <= 0 {
-					continue
+					at = end - dur
 				}
 				tr.SetDownRange(at, at+dur)
-				certOutages[int32(id)] = append(certOutages[int32(id)], day)
+				used += dur
+			}
+
+			// A small share of instances take a month-plus hiatus and return
+			// (Fig 10: 7% of instances have ≥1-month continuous outages).
+			if minSlots := cfg.HiatusMinDays * spd; r.Float64() < cfg.HiatusFrac && window > minSlots*2 {
+				dur := minSlots + expSlots(r, cfg.HiatusMeanDays*float64(spd), 0)
+				if dur > window-spd {
+					dur = window - spd
+				}
+				at := start + r.IntN(window-dur)
+				tr.SetDownRange(at, at+dur)
+			}
+
+			// Certificate-expiry outages (only the dominant CA's short-lived
+			// certificates fail in practice; Fig 9b).
+			if in.CA == "Let's Encrypt" {
+				for _, day := range in.CertExpiryDays(cfg.Days, cfg.CertRenewDays) {
+					if day < in.CreatedDay || (in.GoneDay >= 0 && day >= in.GoneDay) {
+						continue
+					}
+					massBatch := cfg.MassExpiryDay >= 0 && day == cfg.MassExpiryDay &&
+						in.CertIssuedDay == cfg.MassExpiryDay-cfg.CertRenewDays
+					if !massBatch && r.Float64() >= cfg.CertFailProb {
+						continue
+					}
+					at := day * spd
+					dur := expSlots(r, cfg.CertOutageDays*float64(spd), spd/2)
+					if at+dur > end {
+						dur = end - at
+					}
+					if dur <= 0 {
+						continue
+					}
+					tr.SetDownRange(at, at+dur)
+					certDays[id] = append(certDays[id], day)
+				}
 			}
 		}
-	}
+	})
 
-	injectASOutages(cfg, r, insts, ts)
+	certOutages := make(map[int32][]int)
+	for id, days := range certDays {
+		if len(days) > 0 {
+			certOutages[int32(id)] = days
+		}
+	}
+	injectASOutages(cfg, subSeed(cfg.Seed, stageASOutage), insts, ts)
 	return ts, certOutages
 }
 

@@ -13,81 +13,87 @@ import (
 // fragility (Fig 12) and its spread-out toot mass (§5.2). Instance counters
 // (Toots/Boosts) become the "instances" dataset of §3.
 func genUsers(cfg Config, m *instanceModel) ([]dataset.User, []float64) {
-	r := subSeed(cfg.Seed, 2)
-
-	total := 0
+	// User ids are positional: instance id order, offset by a prefix sum of
+	// the size ladder. Each instance then synthesises its own users from its
+	// (seed, stageUsers, id) stream into a disjoint slice of the output.
+	offsets := make([]int, len(m.insts)+1)
 	for i := range m.insts {
-		total += m.insts[i].Users
+		offsets[i+1] = offsets[i] + m.insts[i].Users
 	}
-	users := make([]dataset.User, 0, total)
-	fame := make([]float64, 0, total)
+	total := offsets[len(m.insts)]
+	users := make([]dataset.User, total)
+	fame := make([]float64, total)
 	meanUsers := float64(total) / float64(len(m.insts))
 
-	for id := range m.insts {
-		in := &m.insts[id]
-		boost := m.tootBoost[id]
-		if !in.Open {
-			boost *= cfg.ClosedTootBoost
-		}
-		// Larger communities are more active per capita (§4.1: the top 5%
-		// of instances hold 94.8% of toots, above their 90.6% user share).
-		sizeBoost := math.Pow(float64(in.Users)/meanUsers, 0.3)
-		boost *= clamp(sizeBoost, 0.5, 8)
-		endDay := cfg.Days
-		if in.GoneDay >= 0 {
-			endDay = in.GoneDay
-		}
-		span := endDay - in.CreatedDay
-		if span < 1 {
-			span = 1
-		}
-		var toots, boosts int64
-		for u := 0; u < in.Users; u++ {
-			usr := dataset.User{
-				ID:       int32(len(users)),
-				Instance: int32(id),
-				JoinDay:  in.CreatedDay + r.IntN(span),
-				Private:  r.Float64() < cfg.PrivateUserFrac,
+	cfg.runShards(len(m.insts), func(src *unitSource, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			r := src.unit(stageUsers, uint64(id))
+			in := &m.insts[id]
+			boost := m.tootBoost[id]
+			if !in.Open {
+				boost *= cfg.ClosedTootBoost
 			}
-			// Fame: Pareto with tail index FameTail (<1 ⇒ the celebrity
-			// core absorbs most follow mass).
-			uu := r.Float64()
-			if uu < 1e-9 {
-				uu = 1e-9
+			// Larger communities are more active per capita (§4.1: the top 5%
+			// of instances hold 94.8% of toots, above their 90.6% user share).
+			sizeBoost := math.Pow(float64(in.Users)/meanUsers, 0.3)
+			boost *= clamp(sizeBoost, 0.5, 8)
+			endDay := cfg.Days
+			if in.GoneDay >= 0 {
+				endDay = in.GoneDay
 			}
-			f := math.Pow(uu, -1/cfg.FameTail)
-			if f > 1e8 {
-				f = 1e8
+			span := endDay - in.CreatedDay
+			if span < 1 {
+				span = 1
 			}
-			fame = append(fame, f)
+			var toots, boosts int64
+			for u := 0; u < in.Users; u++ {
+				idx := offsets[id] + u
+				usr := dataset.User{
+					ID:       int32(idx),
+					Instance: int32(id),
+					JoinDay:  in.CreatedDay + r.IntN(span),
+					Private:  r.Float64() < cfg.PrivateUserFrac,
+				}
+				// Fame: Pareto with tail index FameTail (<1 ⇒ the celebrity
+				// core absorbs most follow mass).
+				uu := r.Float64()
+				if uu < 1e-9 {
+					uu = 1e-9
+				}
+				f := math.Pow(uu, -1/cfg.FameTail)
+				if f > 1e8 {
+					f = 1e8
+				}
+				fame[idx] = f
 
-			// Toots: sublinear in fame, times lognormal noise and the
-			// instance's category/registration rate multiplier. The
-			// instance's first user is its admin, who almost always toots —
-			// keeping genuinely silent instances rare (Fig 14's 5% pure
-			// consumers).
-			zeroFrac := cfg.ZeroTootFrac
-			if u == 0 {
-				zeroFrac = 0.15
-			}
-			if r.Float64() >= zeroFrac {
-				noise := math.Exp(r.NormFloat64() * cfg.TootNoiseSigma)
-				t := cfg.TootScale * math.Pow(f, cfg.TootFameExponent) * noise * boost
-				if t > float64(cfg.TootMax) {
-					t = float64(cfg.TootMax)
+				// Toots: sublinear in fame, times lognormal noise and the
+				// instance's category/registration rate multiplier. The
+				// instance's first user is its admin, who almost always toots —
+				// keeping genuinely silent instances rare (Fig 14's 5% pure
+				// consumers).
+				zeroFrac := cfg.ZeroTootFrac
+				if u == 0 {
+					zeroFrac = 0.15
 				}
-				usr.Toots = int(t)
-				if usr.Toots < 1 {
-					usr.Toots = 1
+				if r.Float64() >= zeroFrac {
+					noise := math.Exp(r.NormFloat64() * cfg.TootNoiseSigma)
+					t := cfg.TootScale * math.Pow(f, cfg.TootFameExponent) * noise * boost
+					if t > float64(cfg.TootMax) {
+						t = float64(cfg.TootMax)
+					}
+					usr.Toots = int(t)
+					if usr.Toots < 1 {
+						usr.Toots = 1
+					}
+					usr.Boosts = int(cfg.BoostRatio * float64(usr.Toots) * r.Float64() * 2)
 				}
-				usr.Boosts = int(cfg.BoostRatio * float64(usr.Toots) * r.Float64() * 2)
+				toots += int64(usr.Toots)
+				boosts += int64(usr.Boosts)
+				users[idx] = usr
 			}
-			toots += int64(usr.Toots)
-			boosts += int64(usr.Boosts)
-			users = append(users, usr)
+			in.Toots = toots
+			in.Boosts = boosts
 		}
-		in.Toots = toots
-		in.Boosts = boosts
-	}
+	})
 	return users, fame
 }

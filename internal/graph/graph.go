@@ -29,6 +29,43 @@ func NewDirected(n int) *Directed {
 	}
 }
 
+// FromRows builds a Directed that adopts out as its out-adjacency (the
+// rows are NOT copied) and reconstructs the in-adjacency canonically:
+// in[v] lists sources in ascending order, ties in row order — exactly the
+// lists AddEdge would have produced had every edge been added
+// source-by-source in ascending source order. The in-lists share one
+// exact-sized backing array, so the construction costs two passes and two
+// allocations regardless of node count. Streaming decoders and sharded
+// generators use it to assemble a graph from independently produced rows.
+func FromRows(out [][]int32) *Directed {
+	n := len(out)
+	indeg := make([]int32, n)
+	edges := 0
+	for u := range out {
+		edges += len(out[u])
+		for _, v := range out[u] {
+			if int(v) >= n || v < 0 {
+				panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+			}
+			indeg[v]++
+		}
+	}
+	backing := make([]int32, edges)
+	in := make([][]int32, n)
+	off := 0
+	for v := range in {
+		d := int(indeg[v])
+		in[v] = backing[off : off : off+d]
+		off += d
+	}
+	for u := range out {
+		for _, v := range out[u] {
+			in[v] = append(in[v], int32(u))
+		}
+	}
+	return &Directed{out: out, in: in, edges: edges}
+}
+
 // NumNodes returns the number of nodes.
 func (g *Directed) NumNodes() int { return len(g.out) }
 

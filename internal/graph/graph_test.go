@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand/v2"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -295,4 +296,51 @@ func TestSCCDeepPath(t *testing.T) {
 	if got := StronglyConnectedCount(g, nil); got != n {
 		t.Fatalf("SCCs = %d, want %d", got, n)
 	}
+}
+
+// Property: FromRows on the out-rows of a graph whose edges were added in
+// ascending source order reproduces that graph exactly — same out rows,
+// same canonical in rows, same edge count.
+func TestFromRowsMatchesAddEdge(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 500)
+		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		rows := make([][]int32, n)
+		for i := 0; i < m; i++ {
+			u := r.IntN(n)
+			rows[u] = append(rows[u], int32(r.IntN(n)))
+		}
+		want := NewDirected(n)
+		for u := range rows {
+			for _, v := range rows[u] {
+				want.AddEdge(int32(u), v)
+			}
+		}
+		got := FromRows(rows)
+		if got.NumEdges() != want.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if !reflect.DeepEqual(append([]int32{}, got.Out(int32(v))...), append([]int32{}, want.Out(int32(v))...)) {
+				return false
+			}
+			if !reflect.DeepEqual(append([]int32{}, got.In(int32(v))...), append([]int32{}, want.In(int32(v))...)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromRows accepted an out-of-range target")
+		}
+	}()
+	FromRows([][]int32{{5}})
 }

@@ -43,7 +43,7 @@ type Account struct {
 	CreatedAt time.Time
 	Private   bool // toots excluded from public timelines
 
-	followers []federation.Actor // in arrival order
+	followers []uint32 // actor intern indices, in arrival order
 	following int
 	toots     int
 	boosts    int
@@ -67,16 +67,15 @@ type Server struct {
 	cfg  Config
 	subs *federation.Subscriptions
 
-	mu        sync.RWMutex
-	online    bool
-	accounts  map[string]*Account
-	local     []*Toot // home-authored, ascending ID
-	federated []*Toot // home + remote, ascending ID
-	nextID    int64
-	statuses  int64 // total statuses ever authored locally (incl. private)
-	boosts    int64
-	logins    map[string]time.Time // last login per account
-	blocked   map[string]bool      // defederated domains (§7)
+	mu       sync.RWMutex
+	online   bool
+	accounts map[string]*Account
+	store    tootStore // slab-backed toots and timelines (slab.go)
+	nextID   int64
+	statuses int64 // total statuses ever authored locally (incl. private)
+	boosts   int64
+	logins   map[string]time.Time // last login per account
+	blocked  map[string]bool      // defederated domains (§7)
 
 	transport federation.Transport
 
@@ -221,16 +220,11 @@ func (s *Server) PostToot(ctx context.Context, author, content string, hashtags 
 	s.nextID++
 	s.statuses++
 	acct.toots++
-	t := &Toot{
-		ID:        s.nextID,
-		Author:    federation.Actor{User: author, Domain: s.cfg.Domain},
-		Content:   content,
-		Hashtags:  hashtags,
-		CreatedAt: at,
-		NoteID:    fmt.Sprintf("%s/%d", s.cfg.Domain, s.nextID),
-	}
-	s.local = append(s.local, t)
-	s.appendFederatedLocked(t)
+	actor := federation.Actor{User: author, Domain: s.cfg.Domain}
+	ri := s.store.add(s.nextID, at, actor, content, "", "", hashtags, false)
+	s.store.local = append(s.store.local, ri)
+	s.store.appendFederated(ri, s.cfg.MaxFederated)
+	t := s.store.get(ri, s.cfg.Domain)
 	private := acct.Private
 	s.pages.invalidate()
 	s.mu.Unlock()
@@ -248,7 +242,7 @@ func (s *Server) PostToot(ctx context.Context, author, content string, hashtags 
 			},
 		})
 	}
-	return t, nil
+	return &t, nil
 }
 
 // Boost makes the named local account boost a note (by id) from origAuthor,
@@ -263,20 +257,15 @@ func (s *Server) Boost(ctx context.Context, booster, noteID string, origAuthor f
 	s.nextID++
 	s.boosts++
 	acct.boosts++
-	t := &Toot{
-		ID:        s.nextID,
-		Author:    federation.Actor{User: booster, Domain: s.cfg.Domain},
-		CreatedAt: at,
-		BoostOf:   noteID,
-		NoteID:    fmt.Sprintf("%s/%d", s.cfg.Domain, s.nextID),
-	}
-	s.appendFederatedLocked(t)
+	actor := federation.Actor{User: booster, Domain: s.cfg.Domain}
+	ri := s.store.add(s.nextID, at, actor, "", "", noteID, nil, false)
+	s.store.appendFederated(ri, s.cfg.MaxFederated)
 	s.pages.invalidate()
 	s.mu.Unlock()
 
 	s.push(ctx, booster, &federation.Activity{
 		Type: federation.TypeBoost,
-		From: t.Author,
+		From: actor,
 		Note: &federation.Note{ID: noteID, Author: origAuthor, CreatedAt: at},
 	})
 	return nil
@@ -298,13 +287,6 @@ func (s *Server) push(ctx context.Context, localUser string, a *federation.Activ
 	}
 }
 
-func (s *Server) appendFederatedLocked(t *Toot) {
-	s.federated = append(s.federated, t)
-	if over := len(s.federated) - s.cfg.MaxFederated; over > 0 {
-		s.federated = append([]*Toot(nil), s.federated[over:]...)
-	}
-}
-
 // FollowLocal makes follower follow target, both local accounts.
 func (s *Server) FollowLocal(follower, target string) error {
 	s.mu.Lock()
@@ -318,7 +300,7 @@ func (s *Server) FollowLocal(follower, target string) error {
 		return fmt.Errorf("instance %s: no account %q", s.cfg.Domain, target)
 	}
 	f.following++
-	t.followers = append(t.followers, federation.Actor{User: follower, Domain: s.cfg.Domain})
+	t.followers = append(t.followers, s.store.intern(federation.Actor{User: follower, Domain: s.cfg.Domain}))
 	s.pages.invalidate()
 	return nil
 }
@@ -363,7 +345,7 @@ func (s *Server) Receive(ctx context.Context, a *federation.Activity) error {
 			s.mu.Unlock()
 			return fmt.Errorf("instance %s: follow of unknown account %q", s.cfg.Domain, a.Target.User)
 		}
-		t.followers = append(t.followers, a.From)
+		t.followers = append(t.followers, s.store.intern(a.From))
 		s.mu.Unlock()
 		s.subs.AddSubscriber(a.Target.User, a.From.Domain)
 		s.pages.invalidate()
@@ -375,19 +357,13 @@ func (s *Server) Receive(ctx context.Context, a *federation.Activity) error {
 	case federation.TypeCreate, federation.TypeBoost:
 		s.mu.Lock()
 		s.nextID++
-		t := &Toot{
-			ID:        s.nextID,
-			Author:    a.Note.Author,
-			Content:   a.Note.Content,
-			Hashtags:  a.Note.Hashtags,
-			CreatedAt: a.Note.CreatedAt,
-			Remote:    true,
-			NoteID:    a.Note.ID,
-		}
+		boostOf := ""
 		if a.Type == federation.TypeBoost {
-			t.BoostOf = a.Note.ID
+			boostOf = a.Note.ID
 		}
-		s.appendFederatedLocked(t)
+		ri := s.store.add(s.nextID, a.Note.CreatedAt, a.Note.Author,
+			a.Note.Content, a.Note.ID, boostOf, a.Note.Hashtags, true)
+		s.store.appendFederated(ri, s.cfg.MaxFederated)
 		s.pages.invalidate()
 		s.mu.Unlock()
 		return nil
@@ -437,8 +413,9 @@ const (
 
 // PublicTimeline returns up to limit public toots with ID < maxID (0 means
 // newest), newest first — exactly the paging contract of Mastodon's
-// /api/v1/timelines/public. Private authors' toots are excluded.
-func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []*Toot {
+// /api/v1/timelines/public. Private authors' toots are excluded. Toots are
+// materialised from the slab store into standalone values.
+func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []Toot {
 	return s.PublicTimelineSince(kind, maxID, 0, limit)
 }
 
@@ -446,33 +423,33 @@ func (s *Server) PublicTimeline(kind Timeline, maxID int64, limit int) []*Toot {
 // bound: only toots with ID > sinceID are returned (0 = no bound). It is
 // the server half of incremental recrawls — a delta crawl resuming from a
 // high-water mark pages only the content that appeared after it.
-func (s *Server) PublicTimelineSince(kind Timeline, maxID, sinceID int64, limit int) []*Toot {
+func (s *Server) PublicTimelineSince(kind Timeline, maxID, sinceID int64, limit int) []Toot {
 	if limit <= 0 {
 		limit = 20
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	src := s.local
+	src := s.store.local
 	if kind == TimelineFederated {
-		src = s.federated
+		src = s.store.federated
 	}
 	// src is ascending by ID; find the first index with ID >= maxID.
 	hi := len(src)
 	if maxID > 0 {
-		hi = sort.Search(len(src), func(i int) bool { return src[i].ID >= maxID })
+		hi = sort.Search(len(src), func(i int) bool { return s.store.rows[src[i]].id >= maxID })
 	}
-	out := make([]*Toot, 0, limit)
+	out := make([]Toot, 0, limit)
 	for i := hi - 1; i >= 0 && len(out) < limit; i-- {
-		t := src[i]
-		if t.ID <= sinceID {
+		row := &s.store.rows[src[i]]
+		if row.id <= sinceID {
 			break // ascending ids: everything below is older still
 		}
-		if !t.Remote {
-			if acct := s.accounts[t.Author.User]; acct != nil && acct.Private {
+		if row.flags&tootRemote == 0 {
+			if acct := s.accounts[s.store.actors[row.author].User]; acct != nil && acct.Private {
 				continue
 			}
 		}
-		out = append(out, t)
+		out = append(out, s.store.get(src[i], s.cfg.Domain))
 	}
 	return out
 }
@@ -500,7 +477,11 @@ func (s *Server) Followers(name string, page, pageSize int) (actors []federation
 	if hi > len(a.followers) {
 		hi = len(a.followers)
 	}
-	return append([]federation.Actor(nil), a.followers[lo:hi]...), hi < len(a.followers), nil
+	actors = make([]federation.Actor, 0, hi-lo)
+	for _, ai := range a.followers[lo:hi] {
+		actors = append(actors, s.store.actors[ai])
+	}
+	return actors, hi < len(a.followers), nil
 }
 
 // FollowerCount returns the number of followers of a local account.
@@ -518,8 +499,8 @@ func (s *Server) FollowerCount(name string) int {
 func (s *Server) FederatedShare() (home, remote int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, t := range s.federated {
-		if t.Remote {
+	for _, ri := range s.store.federated {
+		if s.store.rows[ri].flags&tootRemote != 0 {
 			remote++
 		} else {
 			home++

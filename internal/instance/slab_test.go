@@ -1,0 +1,126 @@
+package instance
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+)
+
+func deliverRemote(t *testing.T, s *Server, i int) {
+	t.Helper()
+	err := s.Receive(context.Background(), &federation.Activity{
+		Type: federation.TypeCreate,
+		From: federation.Actor{User: "u", Domain: "far.test"},
+		Note: &federation.Note{
+			ID:        fmt.Sprintf("far.test/%d", i),
+			Author:    federation.Actor{User: "u", Domain: "far.test"},
+			Content:   fmt.Sprintf("remote toot %d", i),
+			CreatedAt: time.Unix(int64(i), 0),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Trimming the federated timeline must not let dead rows or their arena
+// text accumulate: once dead rows outnumber live ones the store compacts,
+// so resting memory stays proportional to the live timelines, not to the
+// total number of toots ever federated.
+func TestSlabCompactionBoundsMemory(t *testing.T) {
+	const maxFed = 16
+	s := NewServer(Config{Domain: "a.test", Open: true, MaxFederated: maxFed}, nil)
+	if _, err := s.CreateAccount("alice", false, false, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if _, err := s.PostToot(context.Background(), "alice", "home toot", nil, time.Unix(int64(k), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		deliverRemote(t, s, i)
+	}
+
+	s.mu.RLock()
+	rows, arena, dead := len(s.store.rows), len(s.store.arena), s.store.dead
+	actors := len(s.store.actors)
+	s.mu.RUnlock()
+	// Live rows: 5 local + at most maxFed federated. Compaction keeps the
+	// row table within one trim cycle of that.
+	if limit := 5 + 2*maxFed + 1; rows > limit {
+		t.Fatalf("row table grew to %d rows after 2000 federated toots (limit %d): compaction is not happening", rows, limit)
+	}
+	if dead > rows {
+		t.Fatalf("dead=%d exceeds rows=%d", dead, rows)
+	}
+	if arena > 64*1024 {
+		t.Fatalf("arena grew to %d bytes: dead text is not being reclaimed", arena)
+	}
+	if actors != 2 { // alice + the one remote author
+		t.Fatalf("actor intern table has %d entries, want 2", actors)
+	}
+
+	// The surviving state must still read back correctly through the API.
+	fed := s.PublicTimeline(TimelineFederated, 0, maxFed*2)
+	if len(fed) != maxFed {
+		t.Fatalf("federated timeline = %d toots, want %d", len(fed), maxFed)
+	}
+	if fed[0].Content != "remote toot 1999" || fed[0].NoteID != "far.test/1999" {
+		t.Fatalf("newest federated toot wrong: %+v", fed[0])
+	}
+	local := s.PublicTimeline(TimelineLocal, 0, 40)
+	if len(local) != 5 {
+		t.Fatalf("local timeline = %d toots, want 5 (must survive federated trimming)", len(local))
+	}
+	if local[0].Content != "home toot" || local[0].Author != (federation.Actor{User: "alice", Domain: "a.test"}) {
+		t.Fatalf("local toot corrupted after compaction: %+v", local[0])
+	}
+	if local[0].NoteID != "a.test/5" {
+		t.Fatalf("synthesized NoteID = %q, want a.test/5", local[0].NoteID)
+	}
+}
+
+// Materialised toots must round-trip every field through the slab rows.
+func TestSlabMaterialisesAllFields(t *testing.T) {
+	s := NewServer(Config{Domain: "a.test", Open: true}, nil)
+	if _, err := s.CreateAccount("alice", false, false, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2018, 7, 23, 12, 0, 0, 0, time.UTC)
+	posted, err := s.PostToot(context.Background(), "alice", "hello <world>", []string{"fediverse", "imc"}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := s.PublicTimeline(TimelineLocal, 0, 1)
+	if len(page) != 1 {
+		t.Fatal("no toot on local timeline")
+	}
+	got := page[0]
+	if got.ID != posted.ID || got.Content != "hello <world>" || got.NoteID != posted.NoteID {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, posted)
+	}
+	if len(got.Hashtags) != 2 || got.Hashtags[0] != "fediverse" || got.Hashtags[1] != "imc" {
+		t.Fatalf("hashtags = %v", got.Hashtags)
+	}
+	if !got.CreatedAt.Equal(at) {
+		t.Fatalf("CreatedAt = %v, want %v", got.CreatedAt, at)
+	}
+	if got.Remote || got.BoostOf != "" {
+		t.Fatalf("flags wrong: %+v", got)
+	}
+
+	if err := s.Boost(context.Background(), "alice", posted.NoteID, posted.Author, at.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	fed := s.PublicTimeline(TimelineFederated, 0, 10)
+	if len(fed) != 2 {
+		t.Fatalf("federated = %d, want 2", len(fed))
+	}
+	if fed[0].BoostOf != posted.NoteID {
+		t.Fatalf("boost row BoostOf = %q, want %q", fed[0].BoostOf, posted.NoteID)
+	}
+}

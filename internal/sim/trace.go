@@ -155,12 +155,22 @@ func (t *Trace) And(o *Trace) *Trace {
 
 // MarshalBinary encodes the trace (length + packed words).
 func (t *Trace) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 8+8*len(t.words))
-	binary.LittleEndian.PutUint64(buf, uint64(t.n))
-	for i, w := range t.words {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	return t.AppendBinary(make([]byte, 0, t.EncodedSize())), nil
+}
+
+// EncodedSize returns the exact length of the MarshalBinary encoding.
+func (t *Trace) EncodedSize() int { return 8 + 8*len(t.words) }
+
+// AppendBinary appends the MarshalBinary encoding of t to dst and returns
+// the extended slice — the allocation-free form used when many traces are
+// packed into one buffer (the columnar world file writes thousands per
+// section).
+func (t *Trace) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.n))
+	for _, w := range t.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
 	}
-	return buf, nil
+	return dst
 }
 
 // UnmarshalBinary decodes a trace produced by MarshalBinary.

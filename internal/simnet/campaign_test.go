@@ -19,7 +19,7 @@ import (
 // churned instances, crawl blockers, private accounts, mid-campaign
 // outages.
 func campaignWorld() *dataset.World {
-	cfg := gen.TinyConfig(5)
+	cfg := gen.TinyConfig(3)
 	cfg.Instances = 10
 	cfg.Users = 150
 	cfg.Days = 20

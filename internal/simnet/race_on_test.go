@@ -1,0 +1,7 @@
+//go:build race
+
+package simnet
+
+// raceEnabled trims the heaviest test workloads when the race detector is
+// on (it multiplies runtime roughly tenfold).
+const raceEnabled = true

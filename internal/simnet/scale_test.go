@@ -12,12 +12,12 @@ import (
 )
 
 // TestCampaignScale is the -short-guarded scale suite: the full §3
-// probe+crawl+scrape campaign against a gen.SmallConfig-sized world —
-// ~1K instances, the scale at which the paper's centralisation effects
-// actually manifest — with the recovered traces and graphs held
-// byte-identical to ground truth. Before the wire codecs and the server's
-// page cache, the probe phase alone (hundreds of thousands of in-memory
-// HTTP requests) made this scale impractical to test.
+// probe+crawl+scrape campaign against a 10K-instance world — 2.3× the
+// paper's full population — with the recovered traces and graphs held
+// byte-identical to ground truth. Before the wire codecs, the server's
+// page cache and the slab-backed toot store, the probe phase alone
+// (millions of in-memory HTTP requests) made this scale impractical to
+// test.
 func TestCampaignScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale campaign skipped in -short mode")
@@ -25,22 +25,28 @@ func TestCampaignScale(t *testing.T) {
 	start := time.Now()
 
 	cfg := gen.SmallConfig(3)
-	// Keep the instance population at the Small scale but trim the axes
-	// that only multiply runtime: fewer users and days, probing for two
-	// simulated days instead of fourteen.
-	cfg.Users = 12000
-	cfg.Days = 12
+	// A 10K-instance population, but with the axes that only multiply
+	// runtime trimmed: few users per instance, a short measurement period,
+	// and a single simulated probing day.
+	cfg.Instances = 10000
+	cfg.Users = 25000
+	cfg.Days = 8
 	cfg.MassExpiryDay = -1
 	w := gen.Generate(cfg)
-	if len(w.Instances) < 900 {
-		t.Fatalf("world has %d instances, want ~1K", len(w.Instances))
+	if len(w.Instances) < 10000 {
+		t.Fatalf("world has %d instances, want 10K", len(w.Instances))
 	}
 
 	const (
 		startSlot = 2 * dataset.SlotsPerDay
-		slots     = 2 * dataset.SlotsPerDay
 		tootCap   = 2
 	)
+	slots := 1 * dataset.SlotsPerDay
+	if raceEnabled {
+		// The race detector makes each probe ~10× dearer; a quarter-day of
+		// probing still exercises every phase at the full 10K population.
+		slots = dataset.SlotsPerDay / 4
+	}
 	h, err := New(context.Background(), w, Options{
 		MaxTootsPerUser: tootCap,
 		Retries:         2,
@@ -54,9 +60,9 @@ func TestCampaignScale(t *testing.T) {
 	res, err := h.RunCampaign(context.Background(), CampaignConfig{
 		StartSlot:     startSlot,
 		Slots:         slots,
-		ProbeWorkers:  16,
-		CrawlWorkers:  16,
-		ScrapeWorkers: 16,
+		ProbeWorkers:  32,
+		CrawlWorkers:  32,
+		ScrapeWorkers: 32,
 	})
 	if err != nil {
 		t.Fatal(err)

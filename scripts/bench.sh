@@ -21,7 +21,9 @@ trap 'rm -f "$raw"' EXIT
 
 go test -bench "$pattern" -benchmem -count=1 -run '^$' -timeout 60m . | tee "$raw"
 
-# Fold `BenchmarkName  iters  ns/op  B/op  allocs/op` lines into JSON.
+# Fold `BenchmarkName  iters  ns/op  [MB/s]  B/op  allocs/op` lines into
+# JSON. Units are matched by name, not field position, because b.SetBytes
+# inserts an MB/s column that would otherwise shift everything.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": {", date; first = 1 }
 /^Benchmark/ {
@@ -30,8 +32,10 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": {", date; firs
 	if (!first) printf ","
 	first = 0
 	printf "\n    \"%s\": {\"iters\": %s, \"ns_per_op\": %s", name, $2, $3
-	if ($6 == "B/op") printf ", \"bytes_per_op\": %s", $5
-	if ($8 == "allocs/op") printf ", \"allocs_per_op\": %s", $7
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "B/op") printf ", \"bytes_per_op\": %s", $i
+		if ($(i + 1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+	}
 	printf "}"
 }
 END { print "\n  }\n}" }

@@ -108,10 +108,12 @@ END {
 
 # Ablation-pair report: for each fast-path/baseline pair in the latest
 # snapshot, print the speedup the design choice buys (see DESIGN.md,
-# "Wire codecs and response caching"). Pairs are "fast slow" benchmark
-# names; missing names are skipped silently.
+# "Wire codecs and response caching", "Paper-scale worlds"). Pairs are
+# "fast:slow" benchmark names; missing names are skipped silently. Both
+# ns/op and allocs/op ratios are reported — the columnar world-file pairs
+# are primarily an allocation win.
 echo
-echo "bench_check: ablation pairs in $new (fast vs baseline, ns/op)"
+echo "bench_check: ablation pairs in $new (fast vs baseline)"
 awk '
 function parse(line) {
 	if (match(line, /"Benchmark[^"]*"/) == 0) return ""
@@ -119,7 +121,12 @@ function parse(line) {
 	if (match(line, /"ns_per_op": *[0-9.e+-]+/) == 0) return ""
 	ns = substr(line, RSTART, RLENGTH)
 	sub(/.*: */, "", ns)
-	return name SUBSEP ns
+	al = ""
+	if (match(line, /"allocs_per_op": *[0-9.e+-]+/) > 0) {
+		al = substr(line, RSTART, RLENGTH)
+		sub(/.*: */, "", al)
+	}
+	return name SUBSEP ns SUBSEP al
 }
 BEGIN {
 	npairs = split(\
@@ -133,20 +140,27 @@ BEGIN {
 		"BenchmarkAblationTimelineCached:BenchmarkAblationTimelineRerendered " \
 		"BenchmarkAblationFollowersCached:BenchmarkAblationFollowersRerendered " \
 		"BenchmarkAblationInstanceInfoCached:BenchmarkAblationInstanceInfoRerendered " \
-		"BenchmarkCrawlWorld:BenchmarkAblationCrawlSocket", pairs, " ")
+		"BenchmarkCrawlWorld:BenchmarkAblationCrawlSocket " \
+		"BenchmarkWorldSave:BenchmarkAblationWorldSaveGob " \
+		"BenchmarkWorldLoad:BenchmarkAblationWorldLoadGob " \
+		"BenchmarkGenerateParallel:BenchmarkAblationGenerateShard1", pairs, " ")
 }
 {
 	kv = parse($0)
 	if (kv == "") next
 	split(kv, a, SUBSEP)
 	val[a[1]] = a[2]
+	alloc[a[1]] = a[3]
 }
 END {
 	for (i = 1; i <= npairs; i++) {
 		split(pairs[i], p, ":")
 		if (!(p[1] in val) || !(p[2] in val) || val[p[1]] <= 0) continue
-		printf "  %-44s %12.0f vs %12.0f  (%.2fx)\n", \
-			substr(p[1], 10), val[p[1]], val[p[2]], val[p[2]] / val[p[1]]
+		line = sprintf("  %-44s %12.0f vs %12.0f ns/op (%.2fx)", \
+			substr(p[1], 10), val[p[1]], val[p[2]], val[p[2]] / val[p[1]])
+		if (alloc[p[1]] != "" && alloc[p[2]] != "" && alloc[p[1]] > 0)
+			line = line sprintf("  %.1fx allocs", alloc[p[2]] / alloc[p[1]])
+		print line
 	}
 }
 ' "$new"
