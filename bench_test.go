@@ -19,6 +19,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/crawler/fleet"
 	"repro/internal/dataset"
 	"repro/internal/dht"
 	"repro/internal/federation"
@@ -520,6 +521,33 @@ func BenchmarkAblationMonteCarlo128(b *testing.B) {
 func BenchmarkAblationCrawlWorkers1(b *testing.B)  { benchCrawl(b, 1) }
 func BenchmarkAblationCrawlWorkers4(b *testing.B)  { benchCrawl(b, 4) }
 func BenchmarkAblationCrawlWorkers16(b *testing.B) { benchCrawl(b, 16) }
+
+// The distributed crawler fleet over the same served world: coordinator,
+// work-stealing frontier and N leased workers vs a single-worker fleet —
+// what lease bookkeeping costs and what stealing buys (ablation pair
+// FleetCrawl/AblationFleetCrawlWorkers1; output bytes are identical either
+// way, per TestFleetEquivalence).
+func benchFleetCrawl(b *testing.B, workers int) {
+	net, domains := crawlTarget(b)
+	cli := &crawler.Client{HTTP: &http.Client{Transport: &simnet.MemoryTransport{Handler: net}}}
+	fl := &fleet.Fleet{
+		Crawler: &crawler.TootCrawler{Client: cli, Local: true},
+		Options: fleet.Options{Workers: workers},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fl.Crawl(context.Background(), domains)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if crawler.Summarize(res.Crawls).Toots == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+func BenchmarkFleetCrawl(b *testing.B)                 { benchFleetCrawl(b, 8) }
+func BenchmarkAblationFleetCrawlWorkers1(b *testing.B) { benchFleetCrawl(b, 1) }
 
 // --- Wire codec ablations (DESIGN.md): the hand-rolled append/streaming
 // codecs of internal/wire against the reflection-based encoding/json

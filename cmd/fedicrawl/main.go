@@ -14,11 +14,18 @@
 //
 //	fedicrawl -base ... -world world.fedi -write-since marks.json
 //	fedicrawl -base ... -world world.fedi -since marks.json -write-since marks.json
+//
+// Concurrency: -workers sizes the flat per-phase worker pools (the paper
+// used 10 threads). -fleet N instead runs the toot-crawl phase as a
+// distributed crawler fleet — a coordinator with a work-stealing per-domain
+// frontier and N leased workers; its harvest, coverage numbers and -since
+// marks are byte-identical to the flat crawl's.
+//
+//	fedicrawl -base ... -world world.fedi -fleet 8 -write-since marks.json
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/crawler/fleet"
 	"repro/internal/dataset"
 )
 
@@ -34,6 +42,7 @@ func main() {
 	seeds := flag.String("seeds", "", "comma-separated seed domains for snowball discovery")
 	worldFile := flag.String("world", "", "take the domain list from a world file instead of discovering")
 	workers := flag.Int("workers", 10, "concurrent crawl workers (the paper used 10 threads)")
+	fleetWorkers := flag.Int("fleet", 0, "run the toot crawl as a crawler fleet with this many leased workers (0 = flat -workers pool)")
 	rate := flag.Float64("rate", 50, "per-host request rate limit (req/s)")
 	maxToots := flag.Int("max-toots", 0, "per-instance toot cap (0 = full history)")
 	scrapeFollowers := flag.Bool("followers", true, "also scrape follower lists of toot authors")
@@ -46,7 +55,7 @@ func main() {
 	if *sinceFile != "" {
 		b, err := os.ReadFile(*sinceFile)
 		if err == nil {
-			err = json.Unmarshal(b, &since)
+			since, err = fleet.DecodeMarks(b)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedicrawl:", err)
@@ -97,10 +106,24 @@ func main() {
 	}
 	fmt.Printf("monitor: %d/%d online, %d toots reported\n", online, len(domains), totalToots)
 
-	// 3. Toots (incremental when -since marks exist).
+	// 3. Toots (incremental when -since marks exist; fleet-run with -fleet).
 	tc := &crawler.TootCrawler{Client: cli, Workers: *workers, Local: true, MaxToots: *maxToots, Since: since}
 	start := time.Now()
-	results := tc.Crawl(ctx, domains)
+	var results []crawler.InstanceCrawl
+	if *fleetWorkers > 0 {
+		fl := &fleet.Fleet{Crawler: tc, Options: fleet.Options{Workers: *fleetWorkers}}
+		fres, err := fl.Crawl(ctx, domains)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedicrawl:", err)
+			os.Exit(2)
+		}
+		results = fres.Crawls
+		st := fres.Stats
+		fmt.Printf("fleet: %d workers, %d leases over %d domains (%d steals)\n",
+			st.Workers, st.Leases, st.Domains, st.Steals)
+	} else {
+		results = tc.Crawl(ctx, domains)
+	}
 	sum := crawler.Summarize(results)
 	mode := "full"
 	if len(since) > 0 {
@@ -113,18 +136,13 @@ func main() {
 			100*float64(sum.Toots)/float64(totalToots))
 	}
 	if *writeSince != "" {
-		marks := make(map[string]int64, len(results))
-		for i := range results {
-			// A crawl that failed partway (r.Err) must not checkpoint: its
-			// mark would sit past history that was never fetched. Leaving
-			// the domain out makes the next run refetch it in full.
-			if r := &results[i]; !r.Blocked && !r.Offline && r.Err == nil {
-				marks[r.Domain] = r.MaxID
-			}
-		}
-		b, err := json.MarshalIndent(marks, "", "  ")
+		// fleet.Marks leaves out any domain whose harvest was incomplete
+		// (blocked, offline, failed partway): a mark past unfetched history
+		// would silently drop toots, so those domains refetch in full.
+		marks := fleet.Marks(results)
+		b, err := fleet.EncodeMarks(marks)
 		if err == nil {
-			err = os.WriteFile(*writeSince, append(b, '\n'), 0o644)
+			err = os.WriteFile(*writeSince, b, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedicrawl:", err)

@@ -19,7 +19,15 @@ type Discoverer struct {
 }
 
 // Discover returns all reachable domains found from the seeds, sorted.
-// Unreachable domains are kept in the result only if they were seeds.
+// Unreachable domains are kept in the result only if they were seeds: a
+// discovered peer whose peer-list fetch fails is dropped (fediverse peer
+// lists routinely advertise dead domains), while a seed is the caller's
+// assertion that the domain belongs in the report either way.
+//
+// The result is deterministic for a given network even when MaxHosts
+// truncates discovery: each round's newly seen peers are admitted in
+// sorted order, so the cap always cuts the same domains regardless of
+// Workers or goroutine scheduling.
 func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
 	workers := d.Workers
 	if workers < 1 {
@@ -30,18 +38,26 @@ func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
 		maxHosts = 100000
 	}
 
+	seedSet := make(map[string]struct{}, len(seeds))
+	for _, s := range seeds {
+		seedSet[s] = struct{}{}
+	}
+
 	var mu sync.Mutex
+	failed := make(map[string]struct{})
 	known := make(map[string]struct{})
 	frontier := make([]string, 0, len(seeds))
 	for _, s := range seeds {
-		if _, ok := known[s]; !ok {
+		if _, ok := known[s]; !ok && len(known) < maxHosts {
 			known[s] = struct{}{}
 			frontier = append(frontier, s)
 		}
 	}
 
 	for len(frontier) > 0 && ctx.Err() == nil {
-		next := make(map[string]struct{})
+		// Workers only gather this round's peer lists; admission to the
+		// discovered set happens after the round, under a total order.
+		var found []string
 		forEach(ctx, frontier, workers, func(ctx context.Context, domain string) error {
 			bp := getBuf()
 			body, err := d.Client.GetBuffered(ctx, domain, "/api/v1/instance/peers", *bp)
@@ -50,28 +66,32 @@ func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
 				peers, err = wire.DecodePeers(body, nil)
 			}
 			putBuf(bp, body)
-			if err != nil {
-				return err
-			}
 			mu.Lock()
-			for _, p := range peers {
-				if _, ok := known[p]; !ok && len(known) < maxHosts {
-					known[p] = struct{}{}
-					next[p] = struct{}{}
-				}
+			if err != nil {
+				failed[domain] = struct{}{}
+			} else {
+				found = append(found, peers...)
 			}
 			mu.Unlock()
-			return nil
+			return err
 		})
+		sort.Strings(found)
 		frontier = frontier[:0]
-		for p := range next {
-			frontier = append(frontier, p)
+		for _, p := range found {
+			if _, ok := known[p]; !ok && len(known) < maxHosts {
+				known[p] = struct{}{}
+				frontier = append(frontier, p)
+			}
 		}
-		sort.Strings(frontier) // deterministic expansion order
 	}
 
 	out := make([]string, 0, len(known))
 	for dom := range known {
+		if _, bad := failed[dom]; bad {
+			if _, isSeed := seedSet[dom]; !isSeed {
+				continue
+			}
+		}
 		out = append(out, dom)
 	}
 	sort.Strings(out)

@@ -1,0 +1,87 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// peerNet serves a hand-built peer topology, routed by Host header like the
+// real instance network. Domains absent from the topology answer 404 — an
+// unreachable peer.
+func peerNet(t *testing.T, topology map[string][]string) *Client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peers, ok := topology[r.Host]
+		if !ok || r.URL.Path != "/api/v1/instance/peers" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(peers)
+	}))
+	t.Cleanup(srv.Close)
+	return &Client{
+		HTTP:    srv.Client(),
+		Resolve: func(string) string { return srv.URL },
+		Retries: 1,
+	}
+}
+
+// TestDiscoverMaxHostsDeterministic: when the MaxHosts cap binds mid-round,
+// the admitted subset must not depend on which worker grabbed the lock
+// first. Two seeds are fetched concurrently; their disjoint peer sets race
+// into the same round, and the cap must always cut at the same (sorted)
+// domains.
+func TestDiscoverMaxHostsDeterministic(t *testing.T) {
+	topology := map[string][]string{"s0.sim": nil, "s1.sim": nil}
+	for r := 19; r >= 0; r-- { // served unsorted, to exercise the sort
+		a := "a" + string(rune('0'+r/10)) + string(rune('0'+r%10)) + ".sim"
+		b := "b" + string(rune('0'+r/10)) + string(rune('0'+r%10)) + ".sim"
+		topology["s0.sim"] = append(topology["s0.sim"], a)
+		topology["s1.sim"] = append(topology["s1.sim"], b)
+		topology[a] = []string{}
+		topology[b] = []string{}
+	}
+	cli := peerNet(t, topology)
+
+	// Cap at 12: the two seeds plus the 10 lexicographically smallest of
+	// the 40 racing peers — always a00..a09, never any b.
+	want := []string{
+		"a00.sim", "a01.sim", "a02.sim", "a03.sim", "a04.sim",
+		"a05.sim", "a06.sim", "a07.sim", "a08.sim", "a09.sim",
+		"s0.sim", "s1.sim",
+	}
+	for run := 0; run < 10; run++ {
+		d := &Discoverer{Client: cli, Workers: 2, MaxHosts: 12}
+		got := d.Discover(context.Background(), []string{"s0.sim", "s1.sim"})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d admitted %v, want %v", run, got, want)
+		}
+	}
+}
+
+// TestDiscoverDropsUnreachablePeers pins the documented contract from both
+// sides: an unreachable discovered peer is dropped from the result, while an
+// unreachable seed is kept.
+func TestDiscoverDropsUnreachablePeers(t *testing.T) {
+	cli := peerNet(t, map[string][]string{
+		"s0.sim": {"dead.sim", "p1.sim"}, // dead.sim is not in the topology
+		"p1.sim": {},
+	})
+
+	d := &Discoverer{Client: cli, Workers: 4}
+	got := d.Discover(context.Background(), []string{"s0.sim"})
+	want := []string{"p1.sim", "s0.sim"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v (unreachable discovered peer dropped)", got, want)
+	}
+
+	got = d.Discover(context.Background(), []string{"s0.sim", "deadseed.sim"})
+	want = []string{"deadseed.sim", "p1.sim", "s0.sim"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v (unreachable seed kept)", got, want)
+	}
+}

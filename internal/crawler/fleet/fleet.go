@@ -1,0 +1,171 @@
+// Package fleet runs the §3 toot crawl as a distributed crawler fleet —
+// the FediLive-style "fediverse-wide parallel crawler" shape: a coordinator
+// owns a work-stealing per-domain frontier, N crawler workers lease domains
+// (over whatever transport the underlying crawler.Client speaks — the
+// socketless simnet transport or real TCP), harvest them with the existing
+// crawler.TootCrawler paging path, and report results plus per-domain
+// since_id high-water marks in the same checkpoint format the incremental
+// recrawl subsystem and fedicrawl's -since/-write-since files use.
+//
+// Leases carry virtual-time deadlines: a worker that dies mid-domain never
+// reports, its lease is re-issued to another worker once the deadline
+// passes, and whatever it partially harvested is discarded. The output
+// contract is exact and is pinned by simnet's TestFleetEquivalence: a fleet
+// crawl of a quiescent world is byte-identical to a single-worker
+// TootCrawler.Crawl for any worker count, any GOMAXPROCS, and any kill
+// script that leaves at least one worker alive.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/vclock"
+)
+
+// DefaultLeaseTTL is the lease deadline when Options.LeaseTTL is zero. It
+// is generous: a deadline only matters after a worker has already died, and
+// a too-short TTL on a real (non-virtual) clock would re-crawl domains that
+// are merely slow.
+const DefaultLeaseTTL = 5 * time.Minute
+
+// Kill scripts one worker death: whichever worker first leases Domain (the
+// domain's epoch-1 lease) dies while holding it, after fetching part of the
+// timeline — the mid-domain crash the lease deadlines exist for. The
+// partial harvest never reaches the coordinator. Keying the script on the
+// domain rather than a worker id makes the death schedule-independent: the
+// domain is leased exactly once before any re-issue, on every interleaving.
+type Kill struct {
+	Domain int
+}
+
+// Options shapes a fleet run.
+type Options struct {
+	// Workers is the number of crawler workers (0 = 4).
+	Workers int
+	// LeaseTTL is the virtual-time lease deadline (0 = DefaultLeaseTTL).
+	// A killed worker's domain is re-assigned this long after its last
+	// lease was granted.
+	LeaseTTL time.Duration
+	// Kill lists scripted worker deaths, for churn experiments.
+	Kill []Kill
+}
+
+// Result is one fleet crawl: harvests in domain order — the same shape and
+// bytes TootCrawler.Crawl produces — plus the run's coordination stats.
+type Result struct {
+	Crawls []crawler.InstanceCrawl
+	Stats  Stats
+}
+
+// HighWater returns the per-domain since_id checkpoint marks of the crawl,
+// under the same rule as simnet.NewCheckpoint and fedicrawl -write-since: a
+// domain checkpoints its largest seen toot id iff its timeline was
+// harvested completely (reachable, not blocking, no crawl error).
+func (r *Result) HighWater() map[string]int64 { return Marks(r.Crawls) }
+
+// Fleet crawls domain lists with a coordinator plus N leased workers.
+type Fleet struct {
+	// Crawler is the per-domain harvest path every worker runs. Its
+	// Workers field is ignored — fleet parallelism is whole domains, one
+	// lease at a time, so per-domain results cannot interleave.
+	Crawler *crawler.TootCrawler
+	// Clock drives lease deadlines (nil = the system clock). The simnet
+	// harness injects its elastic virtual clock, so lease expiry costs
+	// virtual, not wall, time.
+	Clock   vclock.Clock
+	Options Options
+}
+
+// Crawl harvests all domains through the work-stealing frontier and
+// returns results in domain order. It fails only when every worker died
+// with domains still unharvested — a fleet with no survivors has no one
+// left to steal the abandoned leases — or when ctx is cancelled.
+func (f *Fleet) Crawl(ctx context.Context, domains []string) (*Result, error) {
+	workers := f.Options.Workers
+	if workers < 1 {
+		workers = 4
+	}
+	ttl := f.Options.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	clk := vclock.OrSystem(f.Clock)
+	fr := newFrontier(len(domains), workers, clk, ttl)
+
+	// Cancellation must reach workers parked in the frontier's cond wait.
+	stop := context.AfterFunc(ctx, func() {
+		fr.mu.Lock()
+		fr.cond.Broadcast()
+		fr.mu.Unlock()
+	})
+	defer stop()
+
+	killDomains := make(map[int]bool, len(f.Options.Kill))
+	for _, k := range f.Options.Kill {
+		killDomains[k.Domain] = true
+	}
+
+	results := make([]crawler.InstanceCrawl, len(domains))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f.runWorker(ctx, w, fr, domains, results, killDomains)
+		}(w)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := fr.snapshot()
+	if fr.remaining > 0 {
+		return nil, fmt.Errorf("fleet: all %d workers dead with %d of %d domains unharvested",
+			workers, fr.remaining, len(domains))
+	}
+	return &Result{Crawls: results, Stats: st}, nil
+}
+
+// runWorker is one worker's lease loop: pop a domain, harvest it with the
+// shared TootCrawler, report. A scripted kill fires while the worker holds
+// a kill domain's first lease: it fetches part of the timeline, then dies
+// silently — no report, no abandon-with-result, just a lease that will
+// expire. The coordinator's deadline machinery does the rest.
+func (f *Fleet) runWorker(ctx context.Context, id int, fr *frontier, domains []string, results []crawler.InstanceCrawl, killDomains map[int]bool) {
+	for {
+		l, ok := fr.pop(ctx, id)
+		if !ok {
+			return
+		}
+		if killDomains[l.Domain] && l.Epoch == 1 {
+			// Die mid-domain: harvest the first page only, drop it on the
+			// floor. From the coordinator's side this is indistinguishable
+			// from a crash between two page fetches.
+			partial := *f.Crawler
+			partial.MaxToots = 1
+			_ = partial.CrawlInstance(ctx, domains[l.Domain])
+			fr.abandon(l)
+			fr.mu.Lock()
+			fr.stats.Dead++
+			fr.mu.Unlock()
+			return
+		}
+		res := f.Crawler.CrawlInstance(ctx, domains[l.Domain])
+		if ctx.Err() != nil {
+			// A harvest truncated by cancellation must not be recorded as
+			// the domain's result.
+			fr.abandon(l)
+			return
+		}
+		if fr.report(l) {
+			// report granted exclusive completion of this domain, so the
+			// slot write is race-free; a superseded lease is discarded.
+			results[l.Domain] = res
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Lease is one outstanding domain assignment: which worker holds which
+// domain, under which issue epoch, until which virtual-time deadline. A
+// lease whose holder dies silently is re-issued to another worker once the
+// deadline passes; the epoch lets the frontier discard a report from a
+// superseded holder (the "partial harvest discarded" rule).
+type Lease struct {
+	Domain   int       // index into the frontier's domain list
+	Worker   int       // holder
+	Epoch    int       // re-issue counter for this domain (first issue = 1)
+	Deadline time.Time // virtual-time expiry
+
+	// abandoned marks a lease whose holder died without reporting; it
+	// becomes stealable once Deadline passes. Guarded by the frontier mutex.
+	abandoned bool
+}
+
+// Stats summarises one fleet run. Only fields that are deterministic for a
+// given (world, worker count, kill script) may be asserted byte-for-byte in
+// scenario reports: Steals depends on goroutine scheduling, everything else
+// is fixed by the script.
+type Stats struct {
+	Workers    int // worker goroutines launched
+	Domains    int // domains in the frontier
+	Leases     int // leases issued, including re-issues (= Domains + Reassigned)
+	Steals     int // pops served from another worker's queue (nondeterministic)
+	Abandoned  int // leases dropped by dying workers
+	Reassigned int // abandoned leases re-issued after their deadline
+	Dead       int // workers that died mid-domain
+}
+
+// frontier is the coordinator's work-stealing state: one FIFO queue of
+// domain indices per worker, dealt round-robin, plus the outstanding lease
+// table. A worker pops from its own queue first, steals from the longest
+// other queue when its own runs dry, and — when every queue is empty —
+// reclaims abandoned leases whose virtual-time deadline has passed,
+// sleeping on the fleet clock until the earliest such deadline. Pops block
+// (on a cond) while live workers still hold leases, so the frontier never
+// spins and never reclaims work from a worker that is merely slow.
+type frontier struct {
+	clk vclock.Clock
+	ttl time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queues    [][]int        // per-worker FIFOs of domain indices
+	leases    map[int]*Lease // outstanding, by domain index
+	done      []bool         // per-domain completion
+	remaining int            // domains not yet reported
+	stats     Stats
+}
+
+func newFrontier(domains, workers int, clk vclock.Clock, ttl time.Duration) *frontier {
+	f := &frontier{
+		clk:       clk,
+		ttl:       ttl,
+		queues:    make([][]int, workers),
+		leases:    make(map[int]*Lease, workers),
+		done:      make([]bool, domains),
+		remaining: domains,
+		stats:     Stats{Workers: workers, Domains: domains},
+	}
+	f.cond = sync.NewCond(&f.mu)
+	// Deal domains round-robin: a deterministic initial partition that
+	// spreads every contiguous run of domains evenly across workers.
+	for d := 0; d < domains; d++ {
+		w := d % workers
+		f.queues[w] = append(f.queues[w], d)
+	}
+	return f
+}
+
+// issue creates (or re-issues) the lease for domain d; f.mu must be held.
+func (f *frontier) issueLocked(d, worker int) *Lease {
+	epoch := 1
+	if old := f.leases[d]; old != nil {
+		epoch = old.Epoch + 1
+	}
+	l := &Lease{Domain: d, Worker: worker, Epoch: epoch, Deadline: f.clk.Now().Add(f.ttl)}
+	f.leases[d] = l
+	f.stats.Leases++
+	return l
+}
+
+// pop hands the next domain to worker. It blocks until a domain is
+// available, every domain is done (ok=false), or ctx is cancelled. The
+// priority order is: own queue, steal from the longest other queue, reclaim
+// an expired abandoned lease, sleep until the earliest abandoned deadline,
+// wait for live leases to report.
+func (f *frontier) pop(ctx context.Context, worker int) (l *Lease, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if ctx.Err() != nil || f.remaining == 0 {
+			return nil, false
+		}
+		// Own queue first.
+		if q := f.queues[worker]; len(q) > 0 {
+			d := q[0]
+			f.queues[worker] = q[1:]
+			return f.issueLocked(d, worker), true
+		}
+		// Steal from the longest other queue (ties: lowest worker id),
+		// taking from the tail like a classic work-stealing deque.
+		victim := -1
+		for w := range f.queues {
+			if w == worker || len(f.queues[w]) == 0 {
+				continue
+			}
+			if victim < 0 || len(f.queues[w]) > len(f.queues[victim]) {
+				victim = w
+			}
+		}
+		if victim >= 0 {
+			q := f.queues[victim]
+			d := q[len(q)-1]
+			f.queues[victim] = q[:len(q)-1]
+			f.stats.Steals++
+			return f.issueLocked(d, worker), true
+		}
+		// No queued work: reclaim an abandoned lease whose deadline has
+		// passed (lowest domain index for determinism), or note the
+		// earliest future deadline to sleep towards.
+		now := f.clk.Now()
+		expired, earliest := -1, time.Time{}
+		for d, cand := range f.leases {
+			if !cand.abandoned || f.done[d] {
+				continue
+			}
+			if !cand.Deadline.After(now) {
+				if expired < 0 || d < expired {
+					expired = d
+				}
+			} else if earliest.IsZero() || cand.Deadline.Before(earliest) {
+				earliest = cand.Deadline
+			}
+		}
+		if expired >= 0 {
+			f.stats.Reassigned++
+			return f.issueLocked(expired, worker), true
+		}
+		if !earliest.IsZero() {
+			// An abandoned lease is pending expiry: sleep (in virtual
+			// time) until its deadline, then rescan. On an elastic sim
+			// clock this advances time and returns immediately.
+			f.mu.Unlock()
+			err := f.clk.Sleep(ctx, earliest.Sub(now))
+			f.mu.Lock()
+			if err != nil {
+				return nil, false
+			}
+			continue
+		}
+		// Everything is leased to live workers; wait for a report (or an
+		// abandon, or cancellation — Run broadcasts on ctx.Done).
+		f.cond.Wait()
+	}
+}
+
+// report completes a lease. It returns true iff the lease is still the
+// current issue for its domain and the domain was not already completed —
+// exactly one report per domain is ever accepted, so a superseded holder's
+// harvest is discarded.
+func (f *frontier) report(l *Lease) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done[l.Domain] || f.leases[l.Domain] != l {
+		return false
+	}
+	f.done[l.Domain] = true
+	delete(f.leases, l.Domain)
+	f.remaining--
+	f.cond.Broadcast()
+	return true
+}
+
+// abandon marks a lease as dropped by a dying worker: the domain becomes
+// reclaimable once the lease deadline passes. Idle workers are woken so one
+// of them can start sleeping towards that deadline.
+func (f *frontier) abandon(l *Lease) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done[l.Domain] || f.leases[l.Domain] != l {
+		return
+	}
+	l.abandoned = true
+	f.stats.Abandoned++
+	f.cond.Broadcast()
+}
+
+// snapshot returns the stats under the lock.
+func (f *frontier) snapshot() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

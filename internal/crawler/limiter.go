@@ -72,11 +72,33 @@ func (l *HostLimiter) reserve(host string) time.Duration {
 	return time.Duration(-b.tokens / l.rate * float64(time.Second))
 }
 
-// Wait blocks until a request to host is allowed or ctx is cancelled.
+// refund returns one unused token to host's bucket, clamped at burst — the
+// undo of reserve for a waiter that went away before its slot arrived.
+func (l *HostLimiter) refund(host string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b := l.buckets[host]; b != nil {
+		b.tokens++
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+}
+
+// Wait blocks until a request to host is allowed or ctx is cancelled. A
+// cancelled waiter never consumes a token: the debit is refunded, so
+// cancellation storms cannot permanently depress a host's effective rate.
 func (l *HostLimiter) Wait(ctx context.Context, host string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	d := l.reserve(host)
 	if d <= 0 {
-		return ctx.Err()
+		return nil
 	}
-	return l.clk.Sleep(ctx, d)
+	if err := l.clk.Sleep(ctx, d); err != nil {
+		l.refund(host)
+		return err
+	}
+	return nil
 }

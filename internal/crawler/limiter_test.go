@@ -93,6 +93,10 @@ func TestHostLimiterPropertyVsModel(t *testing.T) {
 		last   time.Time
 	}
 	models := map[string]*model{}
+	refill := func(m *model, now time.Time) {
+		m.tokens = math.Min(burst, m.tokens+now.Sub(m.last).Seconds()*rate)
+		m.last = now
+	}
 	rng := rand.New(rand.NewSource(7))
 	for op := 0; op < 2000; op++ {
 		if rng.Intn(4) == 0 {
@@ -106,11 +110,46 @@ func TestHostLimiterPropertyVsModel(t *testing.T) {
 			m = &model{tokens: burst, last: now}
 			models[h] = m
 		}
-		m.tokens = math.Min(burst, m.tokens+now.Sub(m.last).Seconds()*rate)
+		if rng.Intn(3) == 0 {
+			// Cancel-heavy arm: a Wait that never gets its slot must leave
+			// the bucket exactly as the model predicts — free Waits consume
+			// their token, queued Waits cancelled mid-sleep refund it.
+			refill(m, now)
+			// Skip the op when the model sits within float jitter of the
+			// free/queued boundary: the limiter might take the other branch
+			// and the parked-waiter handshake below would hang.
+			if d := m.tokens - 1; d > -1e-6 && d < 1e-6 {
+				continue
+			}
+			if m.tokens > 1 {
+				// The quote is zero: Wait returns immediately and spends
+				// the token like any reserve.
+				m.tokens--
+				if err := l.Wait(context.Background(), h); err != nil {
+					t.Fatalf("op %d host %s: free Wait failed: %v", op, h, err)
+				}
+				continue
+			}
+			// The quote is positive: park the waiter on the manual clock,
+			// cancel it, and demand the token back (debit + refund = refill
+			// only, in the model).
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			before := clk.WaiterCount()
+			go func() { done <- l.Wait(ctx, h) }()
+			for clk.WaiterCount() == before {
+				time.Sleep(50 * time.Microsecond)
+			}
+			cancel()
+			if err := <-done; err == nil {
+				t.Fatalf("op %d host %s: cancelled Wait returned nil", op, h)
+			}
+			continue
+		}
+		refill(m, now)
 		if m.tokens > burst {
 			t.Fatalf("op %d: model for %s holds %v tokens over burst %v", op, h, m.tokens, burst)
 		}
-		m.last = now
 		m.tokens--
 		var want time.Duration
 		if m.tokens < 0 {
@@ -119,6 +158,41 @@ func TestHostLimiterPropertyVsModel(t *testing.T) {
 		if got := l.reserve(h); !approxDur(got, want) {
 			t.Fatalf("op %d host %s: reserve quoted %v, model wants %v", op, h, got, want)
 		}
+	}
+}
+
+// TestHostLimiterCancelRefundsToken is the token-leak regression in
+// isolation: a waiter cancelled mid-sleep has debited a token it will never
+// use; the debit must be refunded or the host's effective rate drops
+// permanently (here the next quote would double to 2s).
+func TestHostLimiterCancelRefundsToken(t *testing.T) {
+	clk := vclock.NewSim(time.Date(2017, 4, 11, 0, 0, 0, 0, time.UTC))
+	l := NewHostLimiterClock(1, 1, clk)
+
+	if err := l.Wait(context.Background(), "a.x"); err != nil {
+		t.Fatal(err) // burst token: free
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Wait(ctx, "a.x") }()
+	for clk.WaiterCount() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled Wait returned nil")
+	}
+	// The bucket owes exactly the one token this probe debits — not the
+	// cancelled waiter's too.
+	if d, want := l.reserve("a.x"), time.Second; !approxDur(d, want) {
+		t.Fatalf("post-cancel reserve quoted %v, want %v (token leaked)", d, want)
+	}
+	// A pre-cancelled Wait never touches the bucket at all.
+	if err := l.Wait(ctx, "b.x"); err == nil {
+		t.Fatal("pre-cancelled Wait returned nil")
+	}
+	if d := l.reserve("b.x"); d != 0 {
+		t.Fatalf("pre-cancelled Wait consumed a token: fresh host quoted %v", d)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/crawler/fleet"
 	"repro/internal/dataset"
 	"repro/internal/sim"
 )
@@ -30,6 +31,12 @@ type CampaignConfig struct {
 	// the union of carried and newly seen authors. StartSlot must be the
 	// slot right after the checkpointed window.
 	Resume *Checkpoint
+	// Fleet, when set, runs the toot-crawl phase through the distributed
+	// crawler fleet (coordinator + leased workers over the work-stealing
+	// frontier) instead of the flat TootCrawler worker pool. CrawlWorkers
+	// is ignored in that case; Fleet.Workers rules. The harvest is
+	// byte-identical either way — that is TestFleetEquivalence's oracle.
+	Fleet *fleet.Options
 }
 
 // CampaignResult carries everything the simulated measurement campaign
@@ -49,6 +56,9 @@ type CampaignResult struct {
 	// availability was live during the crawl and scrape phases.
 	StartSlot int
 	FinalSlot int
+	// FleetStats holds the fleet coordination counters when the crawl
+	// phase ran through CampaignConfig.Fleet (nil otherwise).
+	FleetStats *fleet.Stats
 }
 
 // RunCampaign replays the paper's measurement campaign against the live
@@ -95,7 +105,20 @@ func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaig
 		}
 		tc.Since = cfg.Resume.HighWater
 	}
-	crawls := tc.Crawl(ctx, domains)
+	var crawls []crawler.InstanceCrawl
+	var fleetStats *fleet.Stats
+	if cfg.Fleet != nil {
+		fl := &fleet.Fleet{Crawler: tc, Clock: h.Clock, Options: *cfg.Fleet}
+		fres, err := fl.Crawl(ctx, domains)
+		if err != nil {
+			return nil, err
+		}
+		crawls = fres.Crawls
+		st := fres.Stats
+		fleetStats = &st
+	} else {
+		crawls = tc.Crawl(ctx, domains)
+	}
 	var authors []string
 	if cfg.Resume != nil {
 		authors = UnionAuthors(cfg.Resume, crawls)
@@ -110,13 +133,14 @@ func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaig
 
 	traces, _ := log.ToTraceSet(dataset.SlotsPerDay)
 	return &CampaignResult{
-		Domains:   domains,
-		Log:       log,
-		Traces:    traces,
-		Crawls:    crawls,
-		Authors:   authors,
-		Scrape:    scrape,
-		StartSlot: cfg.StartSlot,
-		FinalSlot: finalSlot,
+		Domains:    domains,
+		Log:        log,
+		Traces:     traces,
+		Crawls:     crawls,
+		Authors:    authors,
+		Scrape:     scrape,
+		StartSlot:  cfg.StartSlot,
+		FinalSlot:  finalSlot,
+		FleetStats: fleetStats,
 	}, nil
 }

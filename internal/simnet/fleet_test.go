@@ -1,0 +1,195 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/crawler/fleet"
+	"repro/internal/dataset"
+	"repro/internal/gen"
+)
+
+// fleetWorld is the equivalence population: a dozen instances so every
+// worker count in the matrix gets a multi-domain queue, with churn and
+// crawl blockers so the harvest exercises every result class.
+func fleetWorld() *dataset.World {
+	cfg := gen.TinyConfig(4)
+	cfg.Instances = 12
+	cfg.Users = 120
+	cfg.Days = 6
+	return gen.Generate(cfg)
+}
+
+const (
+	fleetStartSlot = 2 * dataset.SlotsPerDay
+	fleetSlots     = dataset.SlotsPerDay / 2
+)
+
+func fleetOptions() Options {
+	return Options{
+		MaxTootsPerUser:   campTootCap,
+		Retries:           2,
+		Backoff:           50 * time.Millisecond,
+		RatePerHost:       500,
+		Burst:             200,
+		FederationLatency: 20 * time.Millisecond,
+	}
+}
+
+// runFleetCampaign runs one campaign over a fresh harness on the shared
+// fleet world; fl == nil is the flat single-worker baseline.
+func runFleetCampaign(t *testing.T, fl *fleet.Options) *CampaignResult {
+	t.Helper()
+	ctx := context.Background()
+	h, err := New(ctx, fleetWorld(), fleetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.RunCampaign(ctx, CampaignConfig{
+		StartSlot:    fleetStartSlot,
+		Slots:        fleetSlots,
+		ProbeWorkers: 4,
+		CrawlWorkers: 1,
+		Fleet:        fl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetEquivalence is the fleet's headline oracle: for any worker count
+// and any GOMAXPROCS, a fleet crawl of the simnet world — including one
+// where a worker is killed mid-domain and its lease is re-assigned — must
+// rebuild a world byte-identical to the single-worker crawl's. Same
+// discipline as the generator's shard determinism: parallelism is never
+// allowed to show through in the output bytes.
+func TestFleetEquivalence(t *testing.T) {
+	base := runFleetCampaign(t, nil)
+	baseWorld, baseNames := Rebuild(base)
+	baseBytes := saveBytes(t, baseWorld)
+	baseMarks := fleet.Marks(base.Crawls)
+
+	check := func(t *testing.T, fl fleet.Options) {
+		res := runFleetCampaign(t, &fl)
+		if !reflect.DeepEqual(res.Crawls, base.Crawls) {
+			t.Fatal("fleet harvest differs from the single-worker crawl")
+		}
+		world, names := Rebuild(res)
+		if !reflect.DeepEqual(names, baseNames) {
+			t.Fatal("account populations differ")
+		}
+		if !bytes.Equal(saveBytes(t, world), baseBytes) {
+			t.Fatal("rebuilt world Save bytes differ from the single-worker baseline")
+		}
+		if !reflect.DeepEqual(fleet.Marks(res.Crawls), baseMarks) {
+			t.Fatal("fleet since-marks differ from the single-worker crawl's")
+		}
+		st := res.FleetStats
+		if st == nil {
+			t.Fatal("fleet campaign reported no fleet stats")
+		}
+		wantDead := len(fl.Kill)
+		if st.Dead != wantDead || st.Abandoned != wantDead || st.Reassigned != wantDead {
+			t.Fatalf("kill script not reflected in stats: %+v", *st)
+		}
+		if st.Leases != st.Domains+st.Reassigned {
+			t.Fatalf("lease conservation violated: %+v", *st)
+		}
+	}
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("procs=%d/workers=%d", procs, workers), func(t *testing.T) {
+				check(t, fleet.Options{Workers: workers})
+			})
+			if workers == 1 {
+				continue // a killed solo worker leaves no survivors
+			}
+			t.Run(fmt.Sprintf("procs=%d/workers=%d/kill", procs, workers), func(t *testing.T) {
+				check(t, fleet.Options{
+					Workers:  workers,
+					LeaseTTL: 10 * time.Minute,
+					Kill:     []fleet.Kill{{Domain: 1}},
+				})
+			})
+		}
+	}
+}
+
+// TestFleetCheckpointCompatibility pins the shared checkpoint format from
+// all three sides: fleet marks, simnet.Checkpoint high-water marks, and the
+// fedicrawl -since/-write-since file encoding must round-trip through each
+// other unchanged.
+func TestFleetCheckpointCompatibility(t *testing.T) {
+	res := runFleetCampaign(t, &fleet.Options{Workers: 4})
+
+	// Fleet marks and the campaign checkpoint agree on both membership
+	// (complete harvests only) and values.
+	ck := NewCheckpoint(res)
+	marks := fleet.Marks(res.Crawls)
+	if len(marks) == 0 {
+		t.Fatal("fleet crawl checkpointed nothing")
+	}
+	if !reflect.DeepEqual(marks, ck.HighWater) {
+		t.Fatalf("fleet marks %v != checkpoint high-water %v", marks, ck.HighWater)
+	}
+
+	// The -write-since file encoding round-trips the marks byte-stably.
+	enc, err := fleet.EncodeMarks(marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := fleet.DecodeMarks(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, marks) {
+		t.Fatal("marks changed across an encode/decode round-trip")
+	}
+	enc2, err := fleet.EncodeMarks(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("marks file encoding is not byte-stable")
+	}
+
+	// A delta campaign resumed from the file-round-tripped marks behaves
+	// exactly like one resumed from the in-memory checkpoint: no toot past
+	// a high-water mark is ever refetched.
+	ck.HighWater = dec
+	ctx := context.Background()
+	h, err := New(ctx, fleetWorld(), fleetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunCampaign(ctx, CampaignConfig{
+		StartSlot: fleetStartSlot, Slots: fleetSlots, ProbeWorkers: 4, CrawlWorkers: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resB, err := h.RunCampaign(ctx, CampaignConfig{
+		StartSlot:    fleetStartSlot + fleetSlots,
+		Slots:        fleetSlots,
+		ProbeWorkers: 4,
+		Fleet:        &fleet.Options{Workers: 4},
+		Resume:       ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resB.Crawls {
+		if c := &resB.Crawls[i]; c.SinceID > 0 && len(c.Toots) != 0 {
+			t.Fatalf("%s refetched %d toots past its high-water mark", c.Domain, len(c.Toots))
+		}
+	}
+}

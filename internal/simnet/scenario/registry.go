@@ -12,6 +12,7 @@ var builders = map[string]func(seed uint64) *Scenario{
 	"churn-during-crawl":  ChurnDuringCrawl,
 	"live-replication":    LiveReplication,
 	"incremental-recrawl": IncrementalRecrawl,
+	"fleet-worker-death":  FleetWorkerDeath,
 }
 
 // Names lists the registered scenario names, sorted.

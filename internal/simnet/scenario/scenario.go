@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/crawler/fleet"
 	"repro/internal/dataset"
 	"repro/internal/simnet"
 )
@@ -54,6 +55,12 @@ type Scenario struct {
 	ProbeWorkers  int
 	CrawlWorkers  int
 	ScrapeWorkers int
+	// Fleet, when set, routes every crawl phase (CrawlNow and the final
+	// crawl) through the distributed crawler fleet — coordinator, leased
+	// workers, work-stealing frontier — instead of the flat TootCrawler
+	// pool; CrawlWorkers is then ignored. The run's coordination counters
+	// land in Result.FleetStats.
+	Fleet *fleet.Options
 
 	// DiscoverEvery, when positive, runs a snowball discovery round
 	// (crawler.Discoverer over the initial domains as seeds) every that
@@ -146,7 +153,20 @@ type Snapshot struct {
 func (r *Run) CrawlNow(ctx context.Context) (*Snapshot, error) {
 	sc := r.Scenario
 	tc := &crawler.TootCrawler{Client: r.H.Client, Workers: sc.CrawlWorkers, Local: true}
-	crawls := tc.Crawl(ctx, r.domains)
+	var crawls []crawler.InstanceCrawl
+	var fleetStats *fleet.Stats
+	if sc.Fleet != nil {
+		fl := &fleet.Fleet{Crawler: tc, Clock: r.H.Clock, Options: *sc.Fleet}
+		fres, err := fl.Crawl(ctx, r.domains)
+		if err != nil {
+			return nil, err
+		}
+		crawls = fres.Crawls
+		st := fres.Stats
+		fleetStats = &st
+	} else {
+		crawls = tc.Crawl(ctx, r.domains)
+	}
 	authors := crawler.Authors(crawls)
 	fs := &crawler.FollowerScraper{Client: r.H.Client, Workers: sc.ScrapeWorkers}
 	scrape := fs.Scrape(ctx, authors)
@@ -155,14 +175,15 @@ func (r *Run) CrawlNow(ctx context.Context) (*Snapshot, error) {
 	}
 	traces, _ := r.Log.ToTraceSet(dataset.SlotsPerDay)
 	res := &simnet.CampaignResult{
-		Domains:   r.Domains(),
-		Log:       r.Log,
-		Traces:    traces,
-		Crawls:    crawls,
-		Authors:   authors,
-		Scrape:    scrape,
-		StartSlot: sc.StartSlot,
-		FinalSlot: sc.StartSlot + r.rounds - 1,
+		Domains:    r.Domains(),
+		Log:        r.Log,
+		Traces:     traces,
+		Crawls:     crawls,
+		Authors:    authors,
+		Scrape:     scrape,
+		StartSlot:  sc.StartSlot,
+		FinalSlot:  sc.StartSlot + r.rounds - 1,
+		FleetStats: fleetStats,
 	}
 	w, names := simnet.Rebuild(res)
 	return &Snapshot{Slot: r.rounds, Res: res, World: w, Names: names}, nil

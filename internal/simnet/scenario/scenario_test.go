@@ -121,12 +121,29 @@ func TestScenarioIncrementalRecrawl(t *testing.T) {
 	}
 }
 
+// TestScenarioFleetWorkerDeath: the distributed crawl with scripted worker
+// deaths must re-assign the abandoned leases and still produce a world
+// byte-identical to a flat single-worker crawl — with a byte-identical
+// report across runs, despite the fleet's nondeterministic scheduling.
+func TestScenarioFleetWorkerDeath(t *testing.T) {
+	rep := runTwice(t, FleetWorkerDeath)
+	if rep.MustMetric("equivalence.byte_identical") != 1 {
+		t.Fatal("fleet harvest not byte-identical to the flat crawl")
+	}
+	if got := rep.MustMetric("fleet.dead"); got != 2 {
+		t.Fatalf("%.0f workers died, want the 2 scripted deaths", got)
+	}
+	if got := rep.MustMetric("fleet.leases"); got != rep.MustMetric("fleet.domains")+2 {
+		t.Fatalf("lease count %v does not show the two re-issues", got)
+	}
+}
+
 // TestScenarioRegistry: the registry resolves every name and rejects
 // unknowns.
 func TestScenarioRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 4 {
-		t.Fatalf("registry has %d scenarios, want 4", len(names))
+	if len(names) != 5 {
+		t.Fatalf("registry has %d scenarios, want 5", len(names))
 	}
 	for _, n := range names {
 		sc, err := ByName(n, 0)

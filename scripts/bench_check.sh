@@ -143,7 +143,8 @@ BEGIN {
 		"BenchmarkCrawlWorld:BenchmarkAblationCrawlSocket " \
 		"BenchmarkWorldSave:BenchmarkAblationWorldSaveGob " \
 		"BenchmarkWorldLoad:BenchmarkAblationWorldLoadGob " \
-		"BenchmarkGenerateParallel:BenchmarkAblationGenerateShard1", pairs, " ")
+		"BenchmarkGenerateParallel:BenchmarkAblationGenerateShard1 " \
+		"BenchmarkFleetCrawl:BenchmarkAblationFleetCrawlWorkers1", pairs, " ")
 }
 {
 	kv = parse($0)
