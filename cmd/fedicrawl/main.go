@@ -22,6 +22,11 @@
 // marks are byte-identical to the flat crawl's.
 //
 //	fedicrawl -base ... -world world.fedi -fleet 8 -write-since marks.json
+//
+// Robustness: every request runs behind a per-host circuit breaker with a
+// quarantine budget, so persistently hostile instances fail fast instead of
+// burning the crawl's deadline. -breaker-stats prints the per-host breaker
+// table (failures, circuit opens, quarantines) after the crawl.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall crawl deadline")
 	sinceFile := flag.String("since", "", "JSON high-water-mark file from a previous -write-since run; crawl only newer toots")
 	writeSince := flag.String("write-since", "", "write the crawl's per-domain high-water marks to this JSON file")
+	breakerStats := flag.Bool("breaker-stats", false, "print the per-host circuit-breaker table after the crawl")
 	flag.Parse()
 
 	since := map[string]int64{}
@@ -70,7 +76,27 @@ func main() {
 		Resolve:   func(string) string { return *base },
 		Limiter:   crawler.NewHostLimiter(*rate, *rate),
 		UserAgent: "fedicrawl/1.0 (measurement; IMC19 reproduction)",
+		Breaker:   crawler.NewHostBreaker(crawler.BreakerConfig{}, nil),
 	}
+	defer func() {
+		if !*breakerStats {
+			return
+		}
+		rows := cli.Breaker.Snapshot()
+		st := cli.Breaker.Stats()
+		fmt.Printf("breaker: %d hosts with failures, %d failures, %d opens, %d quarantined\n",
+			st.Hosts, st.Failures, st.Opens, st.Quarantined)
+		for _, r := range rows {
+			state := "closed"
+			switch {
+			case r.Quarantined:
+				state = "quarantined"
+			case r.Open:
+				state = "open"
+			}
+			fmt.Printf("breaker: %-40s %s (%d failures, %d opens)\n", r.Host, state, r.Failures, r.Opens)
+		}
+	}()
 
 	// 1. Domain list: from a world file or by snowball discovery.
 	var domains []string

@@ -1,13 +1,14 @@
 // Command fediscenario lists and runs the declarative campaign scenarios
 // of internal/simnet/scenario — outage storms, churn during crawl, live
-// replication, incremental recrawls — and emits their deterministic JSON
-// reports.
+// replication, incremental recrawls, byzantine chaos storms against the
+// hardened crawler — and emits their deterministic JSON reports.
 //
 // Usage:
 //
 //	fediscenario -list                      # scenario names and titles
 //	fediscenario                            # run everything, reports to stdout
 //	fediscenario -run outage-storm          # one scenario
+//	fediscenario -run chaos-storm           # byzantine faults vs the breaker
 //	fediscenario -out reports/              # write <name>.json per scenario
 //	fediscenario -seed 99 -run churn-during-crawl
 //

@@ -1,0 +1,153 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func testBreaker(cfg BreakerConfig) (*HostBreaker, *vclock.Sim) {
+	clk := vclock.NewElastic(time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC))
+	return NewHostBreaker(cfg, clk), clk
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second})
+	ctx := context.Background()
+
+	// Below the threshold the circuit stays closed: Acquire is instant.
+	for i := 0; i < 2; i++ {
+		if err := b.Acquire(ctx, "a.example"); err != nil {
+			t.Fatal(err)
+		}
+		b.Report("a.example", false)
+	}
+	start := clk.Now()
+	if err := b.Acquire(ctx, "a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if !clk.Now().Equal(start) {
+		t.Fatal("closed circuit slept")
+	}
+	b.Report("a.example", false) // third consecutive failure: opens
+
+	// Open circuit: Acquire waits out the cooldown (virtual time), then
+	// admits the caller as the half-open trial.
+	start = clk.Now()
+	if err := b.Acquire(ctx, "a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if waited := clk.Now().Sub(start); waited < 10*time.Second {
+		t.Fatalf("open circuit waited %v, want >= 10s", waited)
+	}
+	b.Report("a.example", true) // trial succeeds: closed again
+
+	start = clk.Now()
+	if err := b.Acquire(ctx, "a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if !clk.Now().Equal(start) {
+		t.Fatal("circuit did not close after a successful trial")
+	}
+	if b.Quarantined("a.example") {
+		t.Fatal("recovered host reported quarantined")
+	}
+}
+
+func TestBreakerCooldownDoublesAndCaps(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{
+		Threshold: 1, Cooldown: 10 * time.Second, MaxCooldown: 25 * time.Second,
+	})
+	ctx := context.Background()
+	b.Report("a.example", false) // opens with 10s cooldown
+
+	waits := make([]time.Duration, 0, 3)
+	for i := 0; i < 3; i++ {
+		start := clk.Now()
+		if err := b.Acquire(ctx, "a.example"); err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, clk.Now().Sub(start))
+		b.Report("a.example", false) // failed trial: cooldown doubles
+	}
+	if waits[0] < 10*time.Second || waits[0] >= 20*time.Second {
+		t.Fatalf("first wait %v, want ~10s", waits[0])
+	}
+	if waits[1] < 20*time.Second || waits[1] >= 25*time.Second {
+		t.Fatalf("second wait %v, want ~20s", waits[1])
+	}
+	// Third wait is capped at MaxCooldown, not 40s.
+	if waits[2] < 25*time.Second || waits[2] >= 30*time.Second {
+		t.Fatalf("third wait %v, want ~25s (capped)", waits[2])
+	}
+}
+
+func TestBreakerQuarantine(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second, Budget: 5})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		b.Report("a.example", false)
+	}
+	err := b.Acquire(ctx, "a.example")
+	var qe *QuarantinedError
+	if !errors.As(err, &qe) {
+		t.Fatalf("Acquire after budget exhaustion = %v, want QuarantinedError", err)
+	}
+	if qe.Host != "a.example" || qe.Fails != 5 {
+		t.Fatalf("QuarantinedError = %+v", qe)
+	}
+	if retryable(err) {
+		t.Fatal("QuarantinedError must not be retryable")
+	}
+
+	// Quarantine is sticky: even a success report cannot resurrect it.
+	b.Report("a.example", true)
+	if !b.Quarantined("a.example") {
+		t.Fatal("success report cleared quarantine")
+	}
+	if got := b.QuarantinedHosts(); len(got) != 1 || got[0] != "a.example" {
+		t.Fatalf("QuarantinedHosts = %v", got)
+	}
+
+	// Other hosts are unaffected.
+	if err := b.Acquire(ctx, "b.example"); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.Quarantined != 1 || s.Failures != 5 || s.Hosts != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestBreakerSuccessResetsBudget(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Threshold: 100, Budget: 6})
+	// 5 failures, a success, 5 more failures: never reaches the budget of
+	// 6 *consecutive* failures.
+	for i := 0; i < 5; i++ {
+		b.Report("a.example", false)
+	}
+	b.Report("a.example", true)
+	for i := 0; i < 5; i++ {
+		b.Report("a.example", false)
+	}
+	if b.Quarantined("a.example") {
+		t.Fatal("non-consecutive failures exhausted the budget")
+	}
+	snap := b.Snapshot()
+	if len(snap) != 1 || snap[0].Failures != 10 || snap[0].Fails != 5 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+func TestBreakerAcquireHonoursContext(t *testing.T) {
+	b := NewHostBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Hour}, vclock.System())
+	b.Report("a.example", false) // opens for an hour of real time
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Acquire(ctx, "a.example"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -19,9 +19,11 @@ package crawler
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -45,6 +47,15 @@ type Client struct {
 	// Clock drives the retry backoff (nil = the system clock). Injecting a
 	// vclock.Sim makes retry storms run in virtual time with no real sleeps.
 	Clock vclock.Clock
+	// RequestTimeout, when positive, bounds each individual attempt: a
+	// hung server costs one deadline, not the whole crawl. The deadline is
+	// also advertised on the request context (see RequestDeadline) so
+	// virtual-time transports can charge it to the sim clock.
+	RequestTimeout time.Duration
+	// Breaker, when set, gates every request through a per-host circuit
+	// breaker shared across components; hosts that exhaust its failure
+	// budget are quarantined and fail fast with QuarantinedError.
+	Breaker *HostBreaker
 }
 
 // StatusError reports a non-2xx response.
@@ -52,6 +63,10 @@ type StatusError struct {
 	Domain string
 	Path   string
 	Code   int
+	// RetryAfter is the parsed Retry-After header on 429/503 responses
+	// (zero when absent or unparseable). The retry loop waits this long
+	// instead of the exponential backoff; it never adds attempts.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -59,13 +74,44 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("crawler: %s%s: status %d", e.Domain, e.Path, e.Code)
 }
 
+// IntegrityError reports a 2xx response whose payload failed the caller's
+// integrity check (undecodable JSON, truncated follower page). The fetch
+// layer treats it like a torn read: retryable, because byte corruption and
+// truncation are transient transport faults until proven otherwise.
+type IntegrityError struct {
+	Domain string
+	Path   string
+	Err    error
+}
+
+// Error implements error.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("crawler: %s%s: bad payload: %v", e.Domain, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying decode error.
+func (e *IntegrityError) Unwrap() error { return e.Err }
+
 // retryable reports whether a fetch error is worth another attempt.
 func retryable(err error) bool {
 	var se *StatusError
 	if asStatusError(err, &se) {
 		return se.Code == http.StatusTooManyRequests || se.Code/100 == 5
 	}
-	// Transport-level failures (refused, reset, timeout) are retryable.
+	var qe *QuarantinedError
+	if errors.As(err, &qe) {
+		// The breaker has given up on the host; retrying is the one thing
+		// quarantine exists to prevent.
+		return false
+	}
+	// Short bodies (a connection torn down after the client saw the
+	// declared Content-Length) surface as io.ErrUnexpectedEOF rather than
+	// a transport error; they are as transient as a mid-handshake reset.
+	// Integrity failures (corrupt payload behind a 2xx) are the
+	// application-level twin. Everything else at this point is a
+	// transport-level failure (refused, reset, timeout, per-attempt
+	// deadline) — all retryable. Outer-context cancellation never reaches
+	// here: the retry loop checks ctx.Err() first.
 	return true
 }
 
@@ -145,15 +191,43 @@ func (c *Client) Get(ctx context.Context, domain, path string) ([]byte, error) {
 // pays for one buffer, not one allocation per page. The returned slice
 // aliases buf; callers must copy anything they keep.
 func (c *Client) GetBuffered(ctx context.Context, domain, path string, buf []byte) ([]byte, error) {
+	return c.GetChecked(ctx, domain, path, buf, nil)
+}
+
+// maxRetryAfter caps how long a server-supplied Retry-After can stall one
+// backoff step; a hostile header must not park a worker for an hour.
+const maxRetryAfter = 2 * time.Minute
+
+// GetChecked is GetBuffered with a payload integrity check folded into the
+// retry loop: check runs on every successful body, and a check failure is
+// retried like a torn read (a corrupt payload is indistinguishable from
+// transport damage). This is what lets a decode failure heal instead of
+// silently recording an instance as broken. A nil check accepts any body.
+func (c *Client) GetChecked(ctx context.Context, domain, path string, buf []byte, check func(body []byte) error) ([]byte, error) {
 	clk := vclock.OrSystem(c.Clock)
 	var lastErr error
 	backoff := c.backoff()
 	for attempt := 0; attempt < c.retries(); attempt++ {
 		if attempt > 0 {
-			if err := clk.Sleep(ctx, backoff); err != nil {
+			wait := backoff
+			backoff *= 2
+			// A server-supplied Retry-After overrides the exponential
+			// backoff for this step (capped); it never adds attempts.
+			var se *StatusError
+			if asStatusError(lastErr, &se) && se.RetryAfter > 0 {
+				wait = se.RetryAfter
+				if wait > maxRetryAfter {
+					wait = maxRetryAfter
+				}
+			}
+			if err := clk.Sleep(ctx, wait); err != nil {
 				return buf, err
 			}
-			backoff *= 2
+		}
+		if c.Breaker != nil {
+			if err := c.Breaker.Acquire(ctx, domain); err != nil {
+				return buf, err
+			}
 		}
 		if c.Limiter != nil {
 			if err := c.Limiter.Wait(ctx, domain); err != nil {
@@ -162,18 +236,50 @@ func (c *Client) GetBuffered(ctx context.Context, domain, path string, buf []byt
 		}
 		body, err := c.getOnce(ctx, domain, path, buf)
 		buf = body[:0]
+		if err == nil && check != nil {
+			if cerr := check(body); cerr != nil {
+				err = &IntegrityError{Domain: domain, Path: path, Err: cerr}
+			}
+		}
 		if err == nil {
+			c.report(domain, true)
 			return body, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
+			// Cancellation says nothing about the host's health; the
+			// breaker hears nothing.
 			return buf, ctx.Err()
 		}
 		if !retryable(err) {
+			// A conclusive answer (403, 404, quarantine refusal) is not a
+			// host failure — the host spoke clearly.
+			if _, isQuarantine := err.(*QuarantinedError); !isQuarantine {
+				c.report(domain, true)
+			}
 			return buf, err
 		}
+		c.report(domain, false)
 	}
 	return buf, lastErr
+}
+
+func (c *Client) report(domain string, ok bool) {
+	if c.Breaker != nil {
+		c.Breaker.Report(domain, ok)
+	}
+}
+
+// deadlineKey carries the per-attempt timeout on the request context so
+// virtual-time transports (simnet's chaos layer) can charge a hang to the
+// sim clock instead of stalling a wall-time timer.
+type deadlineKey struct{}
+
+// RequestDeadline returns the per-attempt timeout advertised on a request
+// context by Client.RequestTimeout, or zero when none was set.
+func RequestDeadline(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(deadlineKey{}).(time.Duration)
+	return d
 }
 
 func (c *Client) getOnce(ctx context.Context, domain, path string, buf []byte) ([]byte, error) {
@@ -181,6 +287,12 @@ func (c *Client) getOnce(ctx context.Context, domain, path string, buf []byte) (
 	base := "http://" + domain
 	if c.Resolve != nil {
 		base = c.Resolve(domain)
+	}
+	if c.RequestTimeout > 0 {
+		ctx = context.WithValue(ctx, deadlineKey{}, c.RequestTimeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RequestTimeout)
+		defer cancel()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
@@ -197,9 +309,34 @@ func (c *Client) getOnce(ctx context.Context, domain, path string, buf []byte) (
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return buf, &StatusError{Domain: domain, Path: path, Code: resp.StatusCode}
+		se := &StatusError{Domain: domain, Path: path, Code: resp.StatusCode}
+		if se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable {
+			se.RetryAfter = c.parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
+		return buf, se
 	}
 	return readBody(resp.Body, buf)
+}
+
+// parseRetryAfter handles both RFC 7231 forms: delay-seconds and HTTP-date
+// (evaluated against the injected clock, so virtual-time campaigns wait
+// virtual seconds).
+func (c *Client) parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(vclock.OrSystem(c.Clock).Now()); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // readBody appends the reader's content to buf up to maxBodyBytes.

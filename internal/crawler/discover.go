@@ -60,11 +60,14 @@ func (d *Discoverer) Discover(ctx context.Context, seeds []string) []string {
 		var found []string
 		forEach(ctx, frontier, workers, func(ctx context.Context, domain string) error {
 			bp := getBuf()
-			body, err := d.Client.GetBuffered(ctx, domain, "/api/v1/instance/peers", *bp)
+			// Decode inside the integrity check so a corrupt peer list is
+			// retried rather than dropping the whole domain from discovery.
 			var peers []string
-			if err == nil {
-				peers, err = wire.DecodePeers(body, nil)
-			}
+			body, err := d.Client.GetChecked(ctx, domain, "/api/v1/instance/peers", *bp, func(b []byte) error {
+				var derr error
+				peers, derr = wire.DecodePeers(b, peers[:0])
+				return derr
+			})
 			putBuf(bp, body)
 			mu.Lock()
 			if err != nil {

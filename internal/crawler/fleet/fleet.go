@@ -166,6 +166,11 @@ func (f *Fleet) runWorker(ctx context.Context, id int, fr *frontier, domains []s
 			// report granted exclusive completion of this domain, so the
 			// slot write is race-free; a superseded lease is discarded.
 			results[l.Domain] = res
+			if res.Quarantined {
+				fr.mu.Lock()
+				fr.stats.Quarantined++
+				fr.mu.Unlock()
+			}
 		}
 	}
 }

@@ -36,6 +36,12 @@ type Stats struct {
 	Abandoned  int // leases dropped by dying workers
 	Reassigned int // abandoned leases re-issued after their deadline
 	Dead       int // workers that died mid-domain
+	// Quarantined counts leases completed with a quarantined-host result:
+	// the shared circuit breaker gave up on the domain, the crawl
+	// fast-failed, and the lease completed normally with the partial
+	// harvest — quarantine ends a domain's crawl, it never wedges its
+	// lease.
+	Quarantined int
 }
 
 // frontier is the coordinator's work-stealing state: one FIFO queue of

@@ -80,8 +80,11 @@ func (fs *FollowerScraper) ScrapeAccount(ctx context.Context, acct string) ([]Ed
 			return edges, nil
 		}
 		path := fmt.Sprintf("/users/%s/followers?page=%d", user, page)
-		// GetBuffered always returns the current (possibly regrown) buffer.
-		body, err = fs.Client.GetBuffered(ctx, domain, path, (*bp)[:0])
+		// The parser never fails on mangled HTML (zero edges is a legal
+		// page), so truncation-in-flight is caught by the structural
+		// trailer check, retried by the fetch layer like a torn read.
+		// GetChecked always returns the current (possibly regrown) buffer.
+		body, err = fs.Client.GetChecked(ctx, domain, path, (*bp)[:0], wire.FollowerPageComplete)
 		*bp = body[:0]
 		if err != nil {
 			return edges, err

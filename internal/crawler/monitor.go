@@ -61,17 +61,22 @@ func (m *Monitor) PollOnce(ctx context.Context) []Sample {
 		domain := m.Domains[i]
 		s := Sample{Domain: domain, At: now()}
 		bp := getBuf()
-		body, err := m.Client.GetBuffered(ctx, domain, "/api/v1/instance", *bp)
+		// The decode runs inside the fetch's integrity check so a corrupt
+		// payload is retried like a torn read instead of silently recording
+		// the instance as offline — an up instance behind a transient
+		// corruption fault must still probe as up.
+		var info wire.InstanceInfo
+		body, err := m.Client.GetChecked(ctx, domain, "/api/v1/instance", *bp, func(b []byte) error {
+			info = wire.InstanceInfo{}
+			return wire.DecodeInstanceInfo(b, &info)
+		})
 		if err == nil {
-			var info wire.InstanceInfo
-			if err := wire.DecodeInstanceInfo(body, &info); err == nil {
-				s.Online = true
-				s.Users = info.Stats.UserCount
-				s.Toots = info.Stats.StatusCount
-				s.Peers = info.Stats.DomainCount
-				s.Open = info.Registrations
-				s.Version = info.Version
-			}
+			s.Online = true
+			s.Users = info.Stats.UserCount
+			s.Toots = info.Stats.StatusCount
+			s.Peers = info.Stats.DomainCount
+			s.Open = info.Registrations
+			s.Version = info.Version
 		}
 		putBuf(bp, body)
 		samples[i] = s

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -28,8 +29,11 @@ type InstanceCrawl struct {
 	Toots   []TootRec
 	Blocked bool // instance refuses crawling (403)
 	Offline bool // instance unreachable
-	Err     error
-	Pages   int
+	// Quarantined marks a crawl cut short because the shared circuit
+	// breaker exhausted the host's failure budget.
+	Quarantined bool
+	Err         error
+	Pages       int
 	// SinceID is the high-water mark the crawl resumed from (0 = a full
 	// harvest); MaxID is the largest toot id seen, carrying SinceID forward
 	// when the delta window produced nothing new. Together they are the
@@ -88,16 +92,18 @@ func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) Instanc
 			path += "&max_id=" + strconv.FormatInt(maxID, 10)
 		}
 		var err error
-		// GetBuffered always returns the current (possibly regrown) buffer.
-		body, err = tc.Client.GetBuffered(ctx, domain, path, (*bp)[:0])
+		// The page decode runs inside the fetch's integrity check: a corrupt
+		// page is retried like a torn read instead of ending the harvest.
+		// GetChecked always returns the current (possibly regrown) buffer.
+		body, err = tc.Client.GetChecked(ctx, domain, path, (*bp)[:0], func(b []byte) error {
+			var derr error
+			page, derr = wire.DecodeStatuses(b, page[:0])
+			return derr
+		})
 		*bp = body[:0]
-		if err == nil {
-			if page, err = wire.DecodeStatuses(body, page[:0]); err != nil {
-				err = fmt.Errorf("crawler: %s%s: bad JSON: %w", domain, path, err)
-			}
-		}
 		if err != nil {
 			var se *StatusError
+			var qe *QuarantinedError
 			switch {
 			case asStatusError(err, &se) && se.Code == 403:
 				out.Blocked = true
@@ -107,6 +113,12 @@ func (tc *TootCrawler) CrawlInstance(ctx context.Context, domain string) Instanc
 				out.Offline = true
 				out.Err = err
 			case asStatusError(err, &se):
+				out.Err = err
+			case errors.As(err, &qe):
+				// The breaker gave up on the host mid-campaign; whatever was
+				// harvested so far is a partial result.
+				out.Offline = true
+				out.Quarantined = true
 				out.Err = err
 			default:
 				out.Offline = true

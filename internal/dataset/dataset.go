@@ -195,6 +195,13 @@ type World struct {
 	// detector).
 	CertOutageDays map[int32][]int
 
+	// Provenance, when non-nil, records per-instance harvest outcomes for
+	// crawled worlds (aligned with Instances; see CrawlProvenance). It is
+	// in-memory crawl metadata, not part of the serialised world: Save and
+	// SaveGob ignore it, which is also what keeps a partial-harvest world
+	// byte-comparable with its fault-free twin.
+	Provenance []CrawlProvenance
+
 	// Lazily frozen CSR views of the two graphs (DESIGN.md). Built on first
 	// use and shared by every analysis; safe under the concurrent experiment
 	// runner.

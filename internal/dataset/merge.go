@@ -50,6 +50,14 @@ const (
 	// CrawlDelta: only toots past the carried high-water mark were fetched;
 	// its toot counts extend the carried harvest.
 	CrawlDelta
+	// CrawlPartial: the crawl was cut short by byzantine faults (a
+	// quarantined host, a harvest that died mid-paging). Whatever toots
+	// were salvaged are NOT trusted — a partial harvest of an unknown
+	// prefix cannot be distinguished from a full one, so the merge treats
+	// the domain like CrawlOffline for toot counts and the provenance
+	// records why. Appended after CrawlDelta so earlier encoded values are
+	// unchanged.
+	CrawlPartial
 )
 
 // WindowMeta is the instance-API metadata recovered from a delta window's

@@ -37,6 +37,12 @@ type CampaignConfig struct {
 	// is ignored in that case; Fleet.Workers rules. The harvest is
 	// byte-identical either way — that is TestFleetEquivalence's oracle.
 	Fleet *fleet.Options
+	// Faults, when set, arms the harness's chaos transport with a
+	// byzantine fault schedule aligned to the probed population (row i
+	// scripts domain i, like the availability traces). Transient-only
+	// schedules leave the campaign's output byte-identical to a fault-free
+	// run — that is TestChaosConvergence's oracle.
+	Faults *sim.FaultSet
 }
 
 // CampaignResult carries everything the simulated measurement campaign
@@ -74,6 +80,10 @@ func (h *Harness) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campaig
 	}
 	domains := h.Net.Domains()
 	inj := NewInjector(h.Net, domains, h.World.Traces)
+	if cfg.Faults != nil {
+		inj.BindFaults(h.Faults, cfg.Faults)
+		defer inj.BindFaults(h.Faults, nil)
+	}
 	mon := &crawler.Monitor{
 		Client:  h.Client,
 		Domains: domains,

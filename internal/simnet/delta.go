@@ -132,7 +132,12 @@ func DeltaOf(res *CampaignResult, ck *Checkpoint) (*dataset.WindowDelta, error) 
 		switch {
 		case c.Blocked:
 			d.Crawl[i] = dataset.CrawlBlocked
-		case c.Offline:
+		case c.Err != nil && len(c.Toots) > 0:
+			// The harvest died mid-paging (quarantine, byzantine fault):
+			// the salvaged prefix is not trustworthy delta data and is
+			// dropped, exactly as Merge drops a CrawlOffline domain.
+			d.Crawl[i] = dataset.CrawlPartial
+		case c.Offline || c.Err != nil:
 			d.Crawl[i] = dataset.CrawlOffline
 		case c.SinceID > 0:
 			d.Crawl[i] = dataset.CrawlDelta
@@ -142,8 +147,11 @@ func DeltaOf(res *CampaignResult, ck *Checkpoint) (*dataset.WindowDelta, error) 
 			// both resume as a full harvest.
 			d.Crawl[i] = dataset.CrawlFull
 		}
-		for _, t := range c.Toots {
-			d.TootsOf[t.Acct]++
+		switch d.Crawl[i] {
+		case dataset.CrawlFull, dataset.CrawlDelta:
+			for _, t := range c.Toots {
+				d.TootsOf[t.Acct]++
+			}
 		}
 	}
 	return d, nil

@@ -118,3 +118,16 @@ func (inj *Injector) Apply(slot int) {
 
 // Slot returns the most recently applied slot (-1 before the first Apply).
 func (inj *Injector) Slot() int { return inj.slot }
+
+// BindFaults arms a chaos transport with a fault schedule aligned to this
+// injector's domain population (fs.Faults[i] scripts domains[i], exactly
+// like the availability traces) and makes the injector its slot source, so
+// each Apply moves both the up/down overlay and the byzantine faults to
+// the same slot. nil fs disarms the transport.
+func (inj *Injector) BindFaults(ft *FaultTransport, fs *sim.FaultSet) {
+	if fs != nil && fs.Len() != len(inj.domains) {
+		panic("simnet: fault schedule/domain count mismatch")
+	}
+	ft.Install(fs, inj.domains)
+	ft.SetSlotSource(inj.Slot)
+}

@@ -1,11 +1,15 @@
 package simnet
 
 import (
+	"io"
+	"net/http"
 	"reflect"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/instance"
 	"repro/internal/sim"
+	"repro/internal/vclock"
 )
 
 func injectorFixture(t *testing.T, n, slots int) (*instance.Network, []string, *sim.TraceSet) {
@@ -107,5 +111,72 @@ func TestInjectorKillUntracedDomain(t *testing.T) {
 	}
 	if got := inj.KilledDomains(); !reflect.DeepEqual(got, []string{"late.test"}) {
 		t.Fatalf("KilledDomains = %v", got)
+	}
+}
+
+// TestInjectorKillBeatsFlapAndOverlay pins the precedence between the three
+// availability controls when they all touch the same domain: a flapping
+// fault schedule (transport layer) lets every other request through, but a
+// Kill (server layer) makes the domain unreachable no matter what the flap
+// parity says, and installing an overlay afterwards must not resurrect the
+// killed server — overlays only ever add downtime.
+func TestInjectorKillBeatsFlapAndOverlay(t *testing.T) {
+	net, domains, ts := injectorFixture(t, 2, 12)
+	clk := vclock.NewElastic(dataset.Day(0))
+	ft := NewFaultTransport(&MemoryTransport{Handler: net}, clk)
+	inj := NewInjector(net, domains, ts)
+
+	// A flap covering the whole window on domain 0, with hits left to spend.
+	fs := &sim.FaultSet{Slots: 12, SlotsPerDay: 12, Faults: [][]sim.Fault{
+		{{Kind: sim.FaultFlap, Start: 0, End: 12, Hits: 2}},
+		nil,
+	}}
+	inj.BindFaults(ft, fs)
+
+	cli := &http.Client{Transport: ft}
+	get := func() (int, error) {
+		resp, err := cli.Get("http://" + domains[0] + "/api/v1/instance")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Flap behaviour on a live server: first request torn, second clean.
+	inj.Apply(0)
+	if code, err := get(); err == nil {
+		t.Fatalf("flap did not bite the first request (status %d)", code)
+	}
+	if code, err := get(); err != nil || code != http.StatusOK {
+		t.Fatalf("flap bit the second request too: status %d, err %v", code, err)
+	}
+
+	// Kill wins: the flap would let alternate requests through, but the
+	// server behind them is gone, so nothing succeeds.
+	inj.Kill(domains[0])
+	for i := 0; i < 4; i++ {
+		if code, err := get(); err == nil && code == http.StatusOK {
+			t.Fatalf("request %d to a killed domain succeeded", i)
+		}
+	}
+
+	// An overlay installed after the kill — marking only domain 1 down —
+	// must not resurrect domain 0 at the next Apply.
+	overlay := sim.NewTraceSet(2, 1, 12)
+	overlay.Traces[1].SetDownRange(1, 3)
+	inj.SetOverlay(overlay)
+	inj.Apply(1)
+	if net.Server(domains[0]).Online() {
+		t.Fatal("overlay Apply resurrected a killed server")
+	}
+	if code, err := get(); err == nil && code == http.StatusOK {
+		t.Fatal("request to a killed domain succeeded after overlay Apply")
+	}
+	if net.Server(domains[1]).Online() {
+		t.Fatal("overlay did not take its own domain down")
 	}
 }

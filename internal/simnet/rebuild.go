@@ -62,11 +62,32 @@ func Rebuild(res *CampaignResult) (*dataset.World, []string) {
 		}
 		parts.Instances[i] = in
 	}
+	parts.Provenance = make([]dataset.CrawlProvenance, len(res.Crawls))
 	for i := range res.Crawls {
 		c := &res.Crawls[i]
-		if c.Blocked {
+		switch {
+		case c.Blocked:
 			parts.Instances[i].BlocksCrawl = true
+			parts.Provenance[i] = dataset.CrawlProvenance{Outcome: dataset.CrawlBlocked}
+			continue
+		case c.Err != nil || c.Offline:
+			// A harvest that died mid-paging is a partial prefix of
+			// unknown coverage; an unreachable instance harvested nothing.
+			// Neither contributes toots — exactly what a clean crawl of an
+			// offline instance records — but the provenance keeps the
+			// distinction (and the fault) for the analysis layer.
+			outcome := dataset.CrawlOffline
+			if len(c.Toots) > 0 {
+				outcome = dataset.CrawlPartial
+			}
+			var fault string
+			if c.Err != nil {
+				fault = c.Err.Error()
+			}
+			parts.Provenance[i] = dataset.CrawlProvenance{Outcome: outcome, Fault: fault}
+			continue
 		}
+		parts.Provenance[i] = dataset.CrawlProvenance{Outcome: dataset.CrawlFull}
 		for _, t := range c.Toots {
 			parts.Accounts[t.Acct] = struct{}{}
 			parts.TootsOf[t.Acct]++

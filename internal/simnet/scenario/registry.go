@@ -8,6 +8,7 @@ import (
 // builders maps scenario names to their constructors. Seed 0 means the
 // scenario's default seed (the one its assertions are tuned for).
 var builders = map[string]func(seed uint64) *Scenario{
+	"chaos-storm":         ChaosStorm,
 	"outage-storm":        OutageStorm,
 	"churn-during-crawl":  ChurnDuringCrawl,
 	"live-replication":    LiveReplication,

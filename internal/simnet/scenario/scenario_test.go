@@ -138,12 +138,33 @@ func TestScenarioFleetWorkerDeath(t *testing.T) {
 	}
 }
 
+// TestScenarioChaosStorm: a byzantine fault schedule against the hardened
+// client — the transient half must leave no byte of trace (the recovered
+// world matches the forced-down expectation exactly), the breaker must
+// quarantine precisely the hopeless hosts, and the report must be
+// byte-identical across two runs.
+func TestScenarioChaosStorm(t *testing.T) {
+	rep := runTwice(t, ChaosStorm)
+	if rep.MustMetric("convergence.byte_equal") != 1 {
+		t.Fatal("chaos campaign did not converge to the expected bytes")
+	}
+	if rep.MustMetric("quarantine.match") != 1 {
+		t.Fatal("quarantine set is not exactly the hopeless hosts")
+	}
+	if rep.MustMetric("fault.episodes") == 0 {
+		t.Fatal("no transient fault episodes were scheduled")
+	}
+	if c := rep.MustMetric("coverage.toots"); c <= 0 || c >= 1 {
+		t.Fatalf("toot coverage %.4f, want in (0,1): the hostile hosts must cost harvest", c)
+	}
+}
+
 // TestScenarioRegistry: the registry resolves every name and rejects
 // unknowns.
 func TestScenarioRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 5 {
-		t.Fatalf("registry has %d scenarios, want 5", len(names))
+	if len(names) != 6 {
+		t.Fatalf("registry has %d scenarios, want 6", len(names))
 	}
 	for _, n := range names {
 		sc, err := ByName(n, 0)

@@ -61,6 +61,14 @@ type Options struct {
 	Burst       float64
 	// FederationLatency delays every bus delivery by this much virtual time.
 	FederationLatency time.Duration
+	// RequestTimeout bounds each individual crawler attempt (0 = none);
+	// under chaos schedules it is what turns a hang into one lost deadline
+	// instead of a stalled campaign.
+	RequestTimeout time.Duration
+	// Breaker, when set, installs a per-host circuit breaker on the
+	// client. Opt-in: a breaker changes how long-outage hosts are treated,
+	// so only chaos-aware campaigns ask for one.
+	Breaker *crawler.BreakerConfig
 }
 
 // Harness is a live, virtually-clocked fediverse built from a generated
@@ -70,6 +78,10 @@ type Harness struct {
 	Net    *instance.Network
 	Clock  *vclock.Sim
 	Client *crawler.Client
+	// Faults is the chaos layer between the client and the in-memory
+	// network. Always present; a pure passthrough until a fault schedule
+	// is installed (Injector.BindFaults or Faults.Install).
+	Faults *FaultTransport
 }
 
 // New loads the world into live servers and returns the harness. The
@@ -85,14 +97,19 @@ func New(ctx context.Context, w *dataset.World, opts Options) (*Harness, error) 
 	if err != nil {
 		return nil, err
 	}
+	faults := NewFaultTransport(&MemoryTransport{Handler: net}, clk)
 	cli := &crawler.Client{
-		HTTP:    &http.Client{Transport: &MemoryTransport{Handler: net}},
-		Retries: opts.Retries,
-		Backoff: opts.Backoff,
-		Clock:   clk,
+		HTTP:           &http.Client{Transport: faults},
+		Retries:        opts.Retries,
+		Backoff:        opts.Backoff,
+		Clock:          clk,
+		RequestTimeout: opts.RequestTimeout,
 	}
 	if opts.RatePerHost > 0 && opts.Burst > 0 {
 		cli.Limiter = crawler.NewHostLimiterClock(opts.RatePerHost, opts.Burst, clk)
 	}
-	return &Harness{World: w, Net: net, Clock: clk, Client: cli}, nil
+	if opts.Breaker != nil {
+		cli.Breaker = crawler.NewHostBreaker(*opts.Breaker, clk)
+	}
+	return &Harness{World: w, Net: net, Clock: clk, Client: cli, Faults: faults}, nil
 }

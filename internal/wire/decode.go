@@ -41,7 +41,14 @@ type decoder struct {
 }
 
 func (d *decoder) syntaxErr(what string) error {
-	return fmt.Errorf("wire: invalid JSON: %s at offset %d", what, d.off)
+	return d.syntaxErrAt(what, d.off)
+}
+
+// syntaxErrAt reports a syntax error at an explicit offset — used where the
+// scan position that discovered the problem (say, the end of a truncated
+// input) is ahead of the token start the decoder's offset still points at.
+func (d *decoder) syntaxErrAt(what string, off int) error {
+	return fmt.Errorf("wire: invalid JSON: %s at offset %d", what, off)
 }
 
 func (d *decoder) typeErr(what string) error {
@@ -147,7 +154,7 @@ func (d *decoder) scanString() (raw []byte, simple bool, err error) {
 			simple = false
 			i++
 			if i >= len(d.data) {
-				return nil, false, d.syntaxErr("unterminated escape")
+				return nil, false, d.syntaxErrAt("unterminated escape", i)
 			}
 			switch d.data[i] {
 			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
@@ -156,15 +163,15 @@ func (d *decoder) scanString() (raw []byte, simple bool, err error) {
 				i++
 				for k := 0; k < 4; k++ {
 					if i >= len(d.data) || !isHex(d.data[i]) {
-						return nil, false, d.syntaxErr("invalid \\u escape")
+						return nil, false, d.syntaxErrAt("invalid \\u escape", i)
 					}
 					i++
 				}
 			default:
-				return nil, false, d.syntaxErr("invalid escape character")
+				return nil, false, d.syntaxErrAt("invalid escape character", i)
 			}
 		case c < 0x20:
-			return nil, false, d.syntaxErr("control character in string literal")
+			return nil, false, d.syntaxErrAt("control character in string literal", i)
 		case c >= utf8.RuneSelf:
 			simple = false
 			i++
@@ -172,7 +179,7 @@ func (d *decoder) scanString() (raw []byte, simple bool, err error) {
 			i++
 		}
 	}
-	return nil, false, d.syntaxErr("unterminated string literal")
+	return nil, false, d.syntaxErrAt("unterminated string literal", len(d.data))
 }
 
 func isHex(c byte) bool {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 )
 
@@ -137,4 +138,28 @@ func FollowerPageHasNext(body []byte) bool {
 		}
 		pos = p + 1
 	}
+}
+
+// FollowerPageComplete checks the structural integrity of a follower page.
+// The renderer (AppendFollowerPage) always closes the document with
+// "</body></html>", so a page missing that trailer was truncated in
+// flight. The scanner itself cannot notice — mangled HTML legitimately
+// yields zero followers — so this trailer check is the only way a crawler
+// can tell "instance with no followers" from "payload cut short", and the
+// hardened client runs it as the fetch-level integrity check.
+func FollowerPageComplete(body []byte) error {
+	end := len(body)
+	for end > 0 {
+		switch body[end-1] {
+		case ' ', '\t', '\r', '\n':
+			end--
+			continue
+		}
+		break
+	}
+	const trailer = "</body></html>"
+	if end < len(trailer) || string(body[end-len(trailer):end]) != trailer {
+		return fmt.Errorf("wire: follower page truncated at offset %d: missing %q trailer", end, trailer)
+	}
+	return nil
 }

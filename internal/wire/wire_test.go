@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"html"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -73,6 +75,66 @@ func TestScanFollowerPageRoundTrip(t *testing.T) {
 	last := AppendFollowerPage(nil, "alice", actors, 2, false)
 	if FollowerPageHasNext(last) {
 		t.Fatal("phantom next link on last page")
+	}
+}
+
+// TestDecodeTruncatedInputs: every strict prefix of a valid payload must be
+// rejected by every shape decoder — JSON documents are prefix-free — and
+// the error must carry the byte offset the scan died at, bounded by the
+// prefix length. This is the decode-side half of the chaos transport's
+// truncation fault: a torn body that somehow passes the transport must
+// still be identified, located, and retried.
+func TestDecodeTruncatedInputs(t *testing.T) {
+	offsetRe := regexp.MustCompile(`at offset (\d+)`)
+	cases := []struct {
+		name    string
+		payload []byte
+		decode  func([]byte) error
+	}{
+		{
+			"instance_info",
+			[]byte(`{"uri":"a.test","version":"2.4.0","registrations":true,"stats":{"user_count":5,"status_count":17,"domain_count":3}}`),
+			func(b []byte) error { var v InstanceInfo; return DecodeInstanceInfo(b, &v) },
+		},
+		{
+			"statuses",
+			[]byte(`[{"id":"17","created_at":"2018-05-01T10:00:00.000Z","content":"hi é!","account":{"acct":"a@b.test"},"tags":[{"name":"x"}]}]`),
+			func(b []byte) error { _, err := DecodeStatuses(b, nil); return err },
+		},
+		{
+			"peers",
+			[]byte(`["a.test","b.test"]`),
+			func(b []byte) error { _, err := DecodePeers(b, nil); return err },
+		},
+		{
+			"activity",
+			[]byte(`{"type":"Create","from":{"user":"a","domain":"x"},"note":{"id":"x/1","author":{"user":"a","domain":"x"},"content":"hi","hashtags":["h"],"created_at":"2018-05-01T10:00:00.25Z"}}`),
+			func(b []byte) error { _, err := DecodeActivity(b); return err },
+		},
+		{
+			"follower_page",
+			AppendFollowerPage(nil, "alice", []Actor{{User: "u1", Domain: "a.test"}}, 1, false),
+			func(b []byte) error { return FollowerPageComplete(b) },
+		},
+	}
+	for _, c := range cases {
+		if err := c.decode(c.payload); err != nil {
+			t.Fatalf("%s: full payload rejected: %v", c.name, err)
+		}
+		for cut := 0; cut < len(c.payload); cut++ {
+			err := c.decode(c.payload[:cut])
+			if err == nil {
+				t.Fatalf("%s: %d-byte prefix decoded cleanly", c.name, cut)
+			}
+			m := offsetRe.FindStringSubmatch(err.Error())
+			if m == nil {
+				t.Fatalf("%s: prefix %d error carries no byte offset: %v", c.name, cut, err)
+			}
+			off, _ := strconv.Atoi(m[1])
+			if off < 0 || off > cut {
+				t.Fatalf("%s: prefix %d reports offset %d outside [0,%d]: %v", c.name, cut, off, cut, err)
+			}
+		}
 	}
 }
 
