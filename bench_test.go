@@ -26,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/instance"
+	"repro/internal/loadgen"
 	"repro/internal/replication"
 	"repro/internal/simnet"
 	"repro/internal/twitter"
@@ -976,3 +977,92 @@ func benchGenerate(b *testing.B, shards int) {
 
 func BenchmarkGenerateParallel(b *testing.B)       { benchGenerate(b, 0) }
 func BenchmarkAblationGenerateShard1(b *testing.B) { benchGenerate(b, 1) }
+
+// --- Serving-path ablations (DESIGN.md "The serving path and fediload") ---
+
+// Conditional GET: a revalidation that answers 304 from the generation
+// counter vs the same request transferring the full cached body.
+func benchConditionalGet(b *testing.B, revalidate bool) {
+	s := benchPageServer(b, false)
+	path := "/api/v1/timelines/public?local=true&limit=40"
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Host = "bench.test"
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 || rec.Header().Get("Etag") == "" {
+		b.Fatalf("prime request: status %d etag %q", rec.Code, rec.Header().Get("Etag"))
+	}
+	want := 200
+	if revalidate {
+		req.Header.Set("If-None-Match", rec.Header().Get("Etag"))
+		want = 304
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != want {
+			b.Fatalf("status %d, want %d", rec.Code, want)
+		}
+	}
+}
+
+func BenchmarkAblationETagRevalidate(b *testing.B) { benchConditionalGet(b, true) }
+func BenchmarkAblationETagFullFetch(b *testing.B)  { benchConditionalGet(b, false) }
+
+// Streamed timeline encoder (slab rows → wire bytes, no intermediate
+// slice) vs the materialised []Toot → []wire.Status path. The page cache
+// is disabled so every request pays the render being measured; the two
+// paths produce byte-identical output (TestTimelineStreamByteIdentity).
+func benchTimelineRender(b *testing.B, disableStream bool) {
+	b.Helper()
+	s := instance.NewServer(instance.Config{
+		Domain: "bench.test", Open: true,
+		DisablePageCache:      true,
+		DisableTimelineStream: disableStream,
+	}, nil)
+	if _, err := s.CreateAccount("alice", false, false, dataset.Day(0)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		var tags []string
+		if i%5 == 0 {
+			tags = []string{"fediverse"}
+		}
+		if _, err := s.PostToot(context.Background(), "alice", fmt.Sprintf("toot %d", i), tags, dataset.Day(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchServePage(b, s, "/api/v1/timelines/public?local=true&limit=40")
+}
+
+func BenchmarkAblationTimelineStreamed(b *testing.B)     { benchTimelineRender(b, false) }
+func BenchmarkAblationTimelineMaterialised(b *testing.B) { benchTimelineRender(b, true) }
+
+// HTTP keep-alive on the load path: the same open-loop plan over pooled
+// persistent connections vs a fresh TCP dial per request.
+func benchLoadKeepAlive(b *testing.B, noKeepAlive bool) {
+	b.Helper()
+	_, domains := crawlTarget(b)
+	plan := make([]loadgen.Request, 400)
+	for i := range plan {
+		plan[i] = loadgen.Request{Domain: domains[i%len(domains)], Path: "/api/v1/instance"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := loadgen.Run(context.Background(), plan, loadgen.RunConfig{
+			Target:      crawlSrv.URL,
+			Workers:     8,
+			NoKeepAlive: noKeepAlive,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Status2xx == 0 {
+			b.Fatal("no successful requests")
+		}
+	}
+}
+
+func BenchmarkAblationLoadKeepAlive(b *testing.B)   { benchLoadKeepAlive(b, false) }
+func BenchmarkAblationLoadNoKeepAlive(b *testing.B) { benchLoadKeepAlive(b, true) }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,6 +30,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxToots := flag.Int("max-toots", 10, "toot objects materialised per user")
 	offlineGone := flag.Bool("offline-gone", true, "serve churned instances as offline")
+	pageCache := flag.Bool("page-cache", true, "rendered-page byte cache (ablation switch)")
+	etag := flag.Bool("etag", true, "ETag / conditional GET (ablation switch)")
+	stream := flag.Bool("timeline-stream", true, "streamed timeline encoder (ablation switch)")
 	flag.Parse()
 
 	var w *dataset.World
@@ -44,22 +48,32 @@ func main() {
 	}
 
 	start := time.Now()
-	net, err := instance.LoadWorld(context.Background(), w, instance.LoadOptions{
-		MaxTootsPerUser: *maxToots,
-		OfflineGone:     *offlineGone,
+	liveNet, err := instance.LoadWorld(context.Background(), w, instance.LoadOptions{
+		MaxTootsPerUser:       *maxToots,
+		OfflineGone:           *offlineGone,
+		DisablePageCache:      !*pageCache,
+		DisableETag:           !*etag,
+		DisableTimelineStream: !*stream,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fediserve:", err)
 		os.Exit(1)
 	}
+
+	// Bind before announcing readiness: scripts wait for the "serving on"
+	// line, so it must mean requests will actually be accepted.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fediserve:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("loaded %d instances in %v; serving on %s\n",
-		len(net.Domains()), time.Since(start).Round(time.Millisecond), *addr)
+		len(liveNet.Domains()), time.Since(start).Round(time.Millisecond), ln.Addr())
 	fmt.Printf("try: curl -H 'Host: %s' 'http://localhost%s/api/v1/instance'\n",
 		w.Instances[0].Domain, *addr)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           net,
+		Handler:           liveNet,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -70,7 +84,7 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "fediserve:", err)
 		os.Exit(1)
 	}

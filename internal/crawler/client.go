@@ -134,7 +134,11 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	// The default is the shared pooled keep-alive client (transport.go),
+	// not http.DefaultClient: DefaultTransport's two idle connections per
+	// host forced a fresh TCP dial on nearly every request once more than
+	// two workers shared a host.
+	return pooledClient
 }
 
 func (c *Client) retries() int {

@@ -1,0 +1,263 @@
+package instance
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The conditional-GET contract: a 304 certifies that no mutation completed
+// since the returned ETag was issued. Concretely, a mutation between two
+// If-None-Match revalidations MUST flip the tag — the second revalidation
+// gets a full 200, never a stale 304. The suite runs over both the
+// in-memory handler path and a real socket, and under -race in CI.
+
+var etagT0 = time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// condFetcher issues one GET with an optional If-None-Match header and
+// returns status, ETag and body.
+type condFetcher func(t *testing.T, path, inm string) (int, string, string)
+
+func memoryCondFetcher(s *Server) condFetcher {
+	return func(t *testing.T, path, inm string) (int, string, string) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Host = s.Domain()
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code, rec.Header().Get("Etag"), rec.Body.String()
+	}
+}
+
+func socketCondFetcher(t *testing.T, s *Server) condFetcher {
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return func(t *testing.T, path, inm string) (int, string, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Etag"), string(body)
+	}
+}
+
+// runConditionalGet drives every cacheable endpoint through the
+// fetch → revalidate(304) → mutate → revalidate(200, new tag) cycle.
+func runConditionalGet(t *testing.T, get condFetcher, s *Server) {
+	ctx := context.Background()
+	if _, err := s.CreateAccount("alice", false, false, etagT0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PostToot(ctx, "alice", "seed toot", nil, etagT0); err != nil {
+		t.Fatal(err)
+	}
+
+	paths := []string{
+		"/",
+		"/api/v1/instance",
+		"/api/v1/instance/peers",
+		"/api/v1/timelines/public",
+		"/api/v1/timelines/public?local=true",
+		"/users/alice/followers",
+	}
+	mutate := func(i int) {
+		if _, err := s.PostToot(ctx, "alice", fmt.Sprintf("toot %d", i), nil, etagT0.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, path := range paths {
+		code, tag, body := get(t, path, "")
+		if code != 200 || tag == "" {
+			t.Fatalf("%s: initial GET = %d, etag %q", path, code, tag)
+		}
+		// Unchanged state: the revalidation must be a 304 with no body.
+		code, tag2, b304 := get(t, path, tag)
+		if code != 304 || b304 != "" {
+			t.Fatalf("%s: revalidation = %d body %q, want empty 304", path, code, b304)
+		}
+		if tag2 != tag {
+			t.Fatalf("%s: 304 changed the tag %q -> %q", path, tag, tag2)
+		}
+		// A completed mutation between revalidations must flip the tag:
+		// stale 304s would freeze the crawler's view of a live instance.
+		mutate(i)
+		code, tag3, body3 := get(t, path, tag)
+		if code != 200 {
+			t.Fatalf("%s: revalidation after mutation = %d, want full 200 (stale 304?)", path, code)
+		}
+		if tag3 == tag {
+			t.Fatalf("%s: mutation did not flip the etag %q", path, tag)
+		}
+		if body3 == "" || (path == paths[3] && body3 == body) {
+			t.Fatalf("%s: post-mutation body did not change", path)
+		}
+		// And the new tag revalidates again.
+		if code, _, _ = get(t, path, tag3); code != 304 {
+			t.Fatalf("%s: fresh tag did not revalidate: %d", path, code)
+		}
+	}
+
+	// If-None-Match list forms and the * wildcard.
+	_, tag, _ := get(t, "/api/v1/instance", "")
+	for _, inm := range []string{
+		`"bogus", ` + tag,
+		"W/" + tag,
+		"*",
+	} {
+		if code, _, _ := get(t, "/api/v1/instance", inm); code != 304 {
+			t.Fatalf("If-None-Match %q: got %d, want 304", inm, code)
+		}
+	}
+	for _, inm := range []string{`"bogus"`, `W/"other", "another"`, `malformed`} {
+		if code, _, _ := get(t, "/api/v1/instance", inm); code != 200 {
+			t.Fatalf("If-None-Match %q: got %d, want 200", inm, code)
+		}
+	}
+}
+
+func TestConditionalGetMemory(t *testing.T) {
+	s := NewServer(Config{Domain: "etag.test", Open: true}, nil)
+	runConditionalGet(t, memoryCondFetcher(s), s)
+}
+
+func TestConditionalGetSocket(t *testing.T) {
+	s := NewServer(Config{Domain: "etag.test", Open: true}, nil)
+	runConditionalGet(t, socketCondFetcher(t, s), s)
+}
+
+// The ETag path must not depend on the page cache being enabled: the
+// generation counter alone carries the freshness signal.
+func TestConditionalGetWithoutPageCache(t *testing.T) {
+	s := NewServer(Config{Domain: "etag.test", Open: true, DisablePageCache: true}, nil)
+	runConditionalGet(t, memoryCondFetcher(s), s)
+}
+
+func TestConditionalGetDisabled(t *testing.T) {
+	s := NewServer(Config{Domain: "etag.test", Open: true, DisableETag: true}, nil)
+	if _, err := s.CreateAccount("alice", false, false, etagT0); err != nil {
+		t.Fatal(err)
+	}
+	get := memoryCondFetcher(s)
+	code, tag, _ := get(t, "/api/v1/instance", "")
+	if code != 200 || tag != "" {
+		t.Fatalf("ablation: GET = %d etag %q, want 200 with no etag", code, tag)
+	}
+	if code, _, body := get(t, "/api/v1/instance", `*`); code != 200 || body == "" {
+		t.Fatalf("ablation: If-None-Match honoured despite DisableETag: %d", code)
+	}
+}
+
+// Concurrent revalidations against a mutating server: every response must
+// be a well-formed 200 or 304, and a tag observed strictly before a
+// mutation completes must never 304 strictly after it. The test
+// synchronises reader and writer through channels so the ordering claims
+// are real happens-before edges, and -race watches the rest.
+func TestConditionalGetConcurrent(t *testing.T) {
+	s := NewServer(Config{Domain: "etag.test", Open: true}, nil)
+	ctx := context.Background()
+	if _, err := s.CreateAccount("alice", false, false, etagT0); err != nil {
+		t.Fatal(err)
+	}
+	get := memoryCondFetcher(s)
+
+	const rounds = 100
+	var wg sync.WaitGroup
+	tags := make(chan string, 1)   // reader → writer: tag observed pre-mutation
+	mutated := make(chan struct{}) // writer → reader: mutation completed
+	done := make(chan struct{})
+
+	// Background noise: unsynchronised revalidators exercising the race
+	// between gen.Load, cache fills and invalidations.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := ""
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				code, tag, _ := get(t, "/api/v1/timelines/public?local=true", last)
+				if code != 200 && code != 304 {
+					t.Errorf("unexpected status %d", code)
+					return
+				}
+				if tag != "" {
+					last = tag
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			<-tags
+			if _, err := s.PostToot(ctx, "alice", fmt.Sprintf("round %d", i), nil, etagT0); err != nil {
+				t.Error(err)
+				return
+			}
+			mutated <- struct{}{}
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		_, tag, _ := get(t, "/api/v1/timelines/public?local=true", "")
+		tags <- tag // tag observed before the round-i mutation starts
+		<-mutated   // mutation has completed
+		code, _, _ := get(t, "/api/v1/timelines/public?local=true", tag)
+		if code != 200 {
+			t.Fatalf("round %d: stale 304 after completed mutation (tag %q)", i, tag)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestETagMatch(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{`"g5"`, true},
+		{`W/"g5"`, true},
+		{`*`, true},
+		{`"g4", "g5"`, true},
+		{`"g4",W/"g5"`, true},
+		{`  "g4" ,  "g6"`, false},
+		{`"g50"`, false},
+		{`g5`, false},
+		{`"unterminated`, false},
+		{``, false},
+	} {
+		if got := etagMatch(tc.header, `"g5"`); got != tc.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	if !strings.Contains(`"g5"`, "g5") {
+		t.Fatal("sanity")
+	}
+}

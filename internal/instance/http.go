@@ -49,6 +49,27 @@ type pageCache struct {
 	gen     atomic.Uint64
 	mu      sync.Mutex
 	entries map[pageKey]pageEntry
+
+	// etag caches the rendered ETag for the generation it was built under,
+	// so the conditional-GET hot path costs one pointer load per request
+	// instead of one string allocation.
+	etag atomic.Pointer[etagVal]
+}
+
+type etagVal struct {
+	gen uint64
+	val string
+}
+
+// etagFor returns the entity tag for generation g: one server-wide tag,
+// because any visible mutation bumps g and therefore changes every page.
+func (c *pageCache) etagFor(g uint64) string {
+	if ev := c.etag.Load(); ev != nil && ev.gen == g {
+		return ev.val
+	}
+	v := `"g` + strconv.FormatUint(g, 10) + `"`
+	c.etag.Store(&etagVal{gen: g, val: v})
+	return v
 }
 
 func (c *pageCache) invalidate() { c.gen.Add(1) }
@@ -84,7 +105,24 @@ var pageBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return
 // servePage writes one cacheable response: a cache hit replays stored
 // bytes; a miss renders under the generation read before any state, so a
 // concurrent mutation can only strand the entry stale, never serve stale.
-func (s *Server) servePage(w http.ResponseWriter, ctype string, key pageKey, render func(dst []byte) []byte) {
+//
+// Conditional GET rides the same generation counter: the ETag is the
+// generation loaded at the top of the request, so an If-None-Match hit
+// (304) certifies "no mutation has completed since that tag was issued" —
+// the same linearization point the byte cache uses. A write that completes
+// before the load flips the tag and forces a full 200; a write that lands
+// after the load is concurrent with this request and may legitimately
+// order after it.
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, ctype string, key pageKey, render func(dst []byte) []byte) {
+	g := s.pages.gen.Load()
+	if !s.cfg.DisableETag {
+		etag := s.pages.etagFor(g)
+		w.Header().Set("Etag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", ctype)
 	if s.cfg.DisablePageCache {
 		bp := pageBufPool.Get().(*[]byte)
@@ -94,7 +132,6 @@ func (s *Server) servePage(w http.ResponseWriter, ctype string, key pageKey, ren
 		pageBufPool.Put(bp)
 		return
 	}
-	g := s.pages.gen.Load()
 	if body, ok := s.pages.get(key, g); ok {
 		w.Write(body)
 		return
@@ -102,6 +139,36 @@ func (s *Server) servePage(w http.ResponseWriter, ctype string, key pageKey, ren
 	body := render(nil)
 	s.pages.put(key, g, body)
 	w.Write(body)
+}
+
+// etagMatch reports whether the If-None-Match header value matches etag
+// under RFC 7232 weak comparison: "*" matches anything, W/ prefixes are
+// ignored, and the header may list several comma-separated tags.
+func etagMatch(header, etag string) bool {
+	for {
+		header = strings.TrimLeft(header, " \t,")
+		if header == "" {
+			return false
+		}
+		if header[0] == '*' {
+			return true
+		}
+		cand := header
+		if strings.HasPrefix(cand, "W/") {
+			cand = cand[2:]
+		}
+		if len(cand) < 2 || cand[0] != '"' {
+			return false // malformed; no tag can match
+		}
+		end := strings.IndexByte(cand[1:], '"')
+		if end < 0 {
+			return false
+		}
+		if cand[:end+2] == etag {
+			return true
+		}
+		header = cand[end+2:]
+	}
 }
 
 // ServeHTTP implements http.Handler for one instance.
@@ -128,8 +195,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) serveHome(w http.ResponseWriter, _ *http.Request) {
-	s.servePage(w, "text/html; charset=utf-8", pageKey{kind: 'h'}, func(dst []byte) []byte {
+func (s *Server) serveHome(w http.ResponseWriter, r *http.Request) {
+	s.servePage(w, r, "text/html; charset=utf-8", pageKey{kind: 'h'}, func(dst []byte) []byte {
 		st := s.Stats()
 		dst = append(dst, "<html><head><title>"...)
 		dst = wire.AppendHTMLEscaped(dst, st.Domain)
@@ -143,8 +210,8 @@ func (s *Server) serveHome(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) serveInstanceAPI(w http.ResponseWriter, _ *http.Request) {
-	s.servePage(w, "application/json; charset=utf-8", pageKey{kind: 'i'}, func(dst []byte) []byte {
+func (s *Server) serveInstanceAPI(w http.ResponseWriter, r *http.Request) {
+	s.servePage(w, r, "application/json; charset=utf-8", pageKey{kind: 'i'}, func(dst []byte) []byte {
 		st := s.Stats()
 		info := wire.InstanceInfo{
 			URI:           st.Domain,
@@ -169,8 +236,8 @@ func versionString(st Stats) string {
 	return st.Version
 }
 
-func (s *Server) servePeers(w http.ResponseWriter, _ *http.Request) {
-	s.servePage(w, "application/json; charset=utf-8", pageKey{kind: 'p'}, func(dst []byte) []byte {
+func (s *Server) servePeers(w http.ResponseWriter, r *http.Request) {
+	s.servePage(w, r, "application/json; charset=utf-8", pageKey{kind: 'p'}, func(dst []byte) []byte {
 		return append(wire.AppendPeers(dst, s.subs.PeerDomains()), '\n')
 	})
 }
@@ -219,7 +286,10 @@ func (s *Server) serveTimeline(w http.ResponseWriter, r *http.Request) {
 	if kind == TimelineLocal {
 		key.name = "local"
 	}
-	s.servePage(w, "application/json; charset=utf-8", key, func(dst []byte) []byte {
+	s.servePage(w, r, "application/json; charset=utf-8", key, func(dst []byte) []byte {
+		if !s.cfg.DisableTimelineStream {
+			return append(s.appendTimelineJSON(dst, kind, maxID, sinceID, limit), '\n')
+		}
 		toots := s.PublicTimelineSince(kind, maxID, sinceID, limit)
 		page := make([]wire.Status, len(toots))
 		for i, t := range toots {
@@ -288,7 +358,7 @@ func (s *Server) serveFollowers(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.servePage(w, "text/html; charset=utf-8", pageKey{kind: 'f', name: name, a: int64(page)},
+	s.servePage(w, r, "text/html; charset=utf-8", pageKey{kind: 'f', name: name, a: int64(page)},
 		func(dst []byte) []byte {
 			actors, hasNext, err := s.Followers(name, page, 40)
 			if err != nil {

@@ -33,6 +33,17 @@ type Config struct {
 	// re-encodes every page per request — the ablation baseline, never
 	// wanted in normal operation.
 	DisablePageCache bool
+
+	// DisableETag turns off conditional GET: no ETag header is emitted and
+	// If-None-Match is ignored, so every request pays for a full body —
+	// the ablation baseline for the 304 revalidation path.
+	DisableETag bool
+
+	// DisableTimelineStream makes the public-timeline endpoint materialise
+	// the page as []Toot and []wire.Status before encoding (the pre-stream
+	// path) instead of streaming straight from the slab store — the
+	// ablation baseline; output is byte-identical either way.
+	DisableTimelineStream bool
 }
 
 const defaultMaxFederated = 65536

@@ -152,6 +152,9 @@ func FuzzJSONString(f *testing.F) {
 		if got := AppendJSONString(nil, s); string(got) != string(want) {
 			t.Fatalf("encode diverges:\n wire %q\n json %q", got, want)
 		}
+		if got := AppendJSONStringBytes(nil, []byte(s)); string(got) != string(want) {
+			t.Fatalf("bytes encoder diverges:\n wire %q\n json %q", got, want)
+		}
 	})
 }
 

@@ -4,6 +4,11 @@
 # BENCH_<n>.json in the repo root, so the perf trajectory is tracked across
 # PRs. <n> auto-increments past existing snapshots.
 #
+# The snapshot also carries a "loadgen" section: a short fediload run
+# against a self-served tiny world, so the tail-latency trajectory
+# (p50/p99/p999, throughput) is tracked alongside the ns/op numbers.
+# Set BENCH_SKIP_LOADGEN=1 to leave it out.
+#
 # Usage: scripts/bench.sh [bench-regex]   (default: all benchmarks)
 set -euo pipefail
 
@@ -17,9 +22,17 @@ while [ -e "BENCH_${n}.json" ]; do
 done
 out="BENCH_${n}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+loadrep="$(mktemp)"
+trap 'rm -f "$raw" "$loadrep"' EXIT
 
 go test -bench "$pattern" -benchmem -count=1 -run '^$' -timeout 60m . | tee "$raw"
+
+if [ "${BENCH_SKIP_LOADGEN:-0}" != "1" ]; then
+	echo "bench: fediload tail-latency snapshot (tiny world, 2s @ 2000 req/s)"
+	go run ./cmd/fediload -scale tiny -seed 1 -rate 2000 -duration 2s -json "$loadrep"
+else
+	printf 'null\n' >"$loadrep"
+fi
 
 # Fold `BenchmarkName  iters  ns/op  [MB/s]  B/op  allocs/op` lines into
 # JSON. Units are matched by name, not field position, because b.SetBytes
@@ -38,7 +51,13 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": {", date; firs
 	}
 	printf "}"
 }
-END { print "\n  }\n}" }
+END { print "\n  }," }
 ' "$raw" >"$out"
+
+{
+	printf '  "loadgen": '
+	sed -e '1!s/^/  /' "$loadrep"
+	echo "}"
+} >>"$out"
 
 echo "wrote $out"

@@ -144,7 +144,10 @@ BEGIN {
 		"BenchmarkWorldSave:BenchmarkAblationWorldSaveGob " \
 		"BenchmarkWorldLoad:BenchmarkAblationWorldLoadGob " \
 		"BenchmarkGenerateParallel:BenchmarkAblationGenerateShard1 " \
-		"BenchmarkFleetCrawl:BenchmarkAblationFleetCrawlWorkers1", pairs, " ")
+		"BenchmarkFleetCrawl:BenchmarkAblationFleetCrawlWorkers1 " \
+		"BenchmarkAblationETagRevalidate:BenchmarkAblationETagFullFetch " \
+		"BenchmarkAblationTimelineStreamed:BenchmarkAblationTimelineMaterialised " \
+		"BenchmarkAblationLoadKeepAlive:BenchmarkAblationLoadNoKeepAlive", pairs, " ")
 }
 {
 	kv = parse($0)

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fails if README.md's command table drifts from the actual cmd/* tree:
+# every cmd/<name> directory must appear in the table, and every
+# `cmd/<name>` the table mentions must exist. Keeps the operator docs
+# honest (CI runs this in the docs job).
+#
+# Exit codes: 0 in sync, 1 drift, 2 missing inputs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ ! -r README.md ] || [ ! -d cmd ]; then
+	echo "docs_check: ERROR: need README.md and a cmd/ directory" >&2
+	exit 2
+fi
+
+actual="$(ls -d cmd/*/ | sed 's|^cmd/||; s|/$||' | sort)"
+documented="$(grep -o '`cmd/[a-z0-9_-]*`' README.md | tr -d '\`' | sed 's|^cmd/||' | sort -u)"
+
+drift=0
+for c in $actual; do
+	if ! printf '%s\n' "$documented" | grep -qx "$c"; then
+		echo "docs_check: cmd/$c exists but is missing from README.md's command table"
+		drift=1
+	fi
+done
+for c in $documented; do
+	if ! printf '%s\n' "$actual" | grep -qx "$c"; then
+		echo "docs_check: README.md documents cmd/$c, which does not exist"
+		drift=1
+	fi
+done
+
+if [ "$drift" -ne 0 ]; then
+	echo "docs_check: README.md command table is out of sync with cmd/*" >&2
+	exit 1
+fi
+echo "docs_check: README.md command table matches cmd/* ($(printf '%s\n' "$actual" | wc -l) commands)"

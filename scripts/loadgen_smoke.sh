@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI smoke for the load-generation path: fediload self-serves a tiny
+# world on a loopback listener, drives a short open-loop run, and the
+# resulting JSON report must be well-formed (all latency/throughput
+# fields present) with a non-zero count of successful responses.
+#
+# Usage: scripts/loadgen_smoke.sh [rate] [duration]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+rate="${1:-500}"
+duration="${2:-2s}"
+rep="$(mktemp)"
+trap 'rm -f "$rep"' EXIT
+
+go run ./cmd/fediload -scale tiny -seed 1 -rate "$rate" -duration "$duration" -json "$rep"
+
+fail=0
+for key in seed target_rate_rps requests status_2xx status_304 status_other \
+	errors duration_sec throughput_rps mean_ms p50_ms p90_ms p99_ms p999_ms max_ms; do
+	if ! grep -q "\"$key\":" "$rep"; then
+		echo "loadgen_smoke: report is missing \"$key\"" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	cat "$rep" >&2
+	exit 1
+fi
+
+s2xx="$(sed -n 's/.*"status_2xx": *\([0-9]*\).*/\1/p' "$rep")"
+requests="$(sed -n 's/.*"requests": *\([0-9]*\).*/\1/p' "$rep")"
+if [ -z "$s2xx" ] || [ "$s2xx" -eq 0 ]; then
+	echo "loadgen_smoke: no successful (2xx) responses — the serving path is broken" >&2
+	cat "$rep" >&2
+	exit 1
+fi
+if [ -z "$requests" ] || [ "$requests" -eq 0 ]; then
+	echo "loadgen_smoke: report counts zero requests" >&2
+	cat "$rep" >&2
+	exit 1
+fi
+echo "loadgen_smoke: OK — $requests requests, $s2xx with 2xx"
