@@ -879,12 +879,28 @@ func BenchmarkExtDHT(b *testing.B) {
 
 func BenchmarkDHTLookup(b *testing.B) {
 	ring := dht.NewRing(3)
-	for i := 0; i < 1024; i++ {
-		ring.Join(fmt.Sprintf("instance-%04d.fedi.test", i))
+	domains := make([]string, 1024)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("instance-%04d.fedi.test", i)
+	}
+	ring.JoinAll(domains)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ring.Lookup(fmt.Sprintf("key-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDHTJoinAll(b *testing.B) {
+	domains := make([]string, 1024)
+	for i := range domains {
+		domains[i] = fmt.Sprintf("instance-%04d.fedi.test", i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ring.Lookup(fmt.Sprintf("key-%d", i))
+		ring := dht.NewRing(3)
+		ring.JoinAll(domains)
 	}
 }
 

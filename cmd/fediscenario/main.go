@@ -1,7 +1,8 @@
 // Command fediscenario lists and runs the declarative campaign scenarios
 // of internal/simnet/scenario — outage storms, churn during crawl, live
 // replication, incremental recrawls, byzantine chaos storms against the
-// hardened crawler — and emits their deterministic JSON reports.
+// hardened crawler, the DHT directory raced against a centralised registry
+// — and emits their deterministic JSON reports.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	fediscenario                            # run everything, reports to stdout
 //	fediscenario -run outage-storm          # one scenario
 //	fediscenario -run chaos-storm           # byzantine faults vs the breaker
+//	fediscenario -run dht-churn             # decentralised directory vs registry
 //	fediscenario -out reports/              # write <name>.json per scenario
 //	fediscenario -seed 99 -run churn-during-crawl
 //

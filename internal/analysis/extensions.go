@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"fmt"
-
 	"repro/internal/dataset"
 	"repro/internal/dht"
 	"repro/internal/graph"
@@ -163,9 +161,11 @@ func ExtDHT(w *dataset.World, topN, checkEvery int) DHTResult {
 		checkEvery = 1
 	}
 	ring := dht.NewRing(dht.DefaultReplication)
+	domains := make([]string, len(w.Instances))
 	for i := range w.Instances {
-		ring.Join(w.Instances[i].Domain)
+		domains[i] = w.Instances[i].Domain
 	}
+	ring.JoinAll(domains)
 
 	// Index: author → replica-holding domains.
 	type indexed struct {
@@ -188,8 +188,10 @@ func ExtDHT(w *dataset.World, topN, checkEvery int) DHTResult {
 			seen[fi] = struct{}{}
 			locs = append(locs, w.Instances[fi].Domain)
 		}
-		key := fmt.Sprintf("author:%d", u)
-		ring.Put(key, locs)
+		key := dht.AuthorKey(int32(u))
+		if _, err := ring.Put(key, locs); err != nil {
+			continue // unreachable: the ring has every instance as a member
+		}
 		keys = append(keys, indexed{key: key, toots: float64(w.Users[u].Toots)})
 	}
 

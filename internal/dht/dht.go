@@ -10,6 +10,18 @@
 // (O(log n) hops); entries are replicated onto the key's first
 // ReplicationFactor distinct successors so the index itself survives the
 // instance failures studied in §5.
+//
+// # Placement and liveness model
+//
+// Placement is membership-based: a key's holders are its first k distinct
+// ring members, up or down. Marking a node down (SetDown, the §5 failure
+// model) does not move its keyspace — the copies it holds simply become
+// unreachable until it recovers, so Put may name down holders and Get
+// serves from whichever holder is currently up. A graceful Leave, by
+// contrast, removes the node from the ring: its keyspace shifts to the
+// next successor, modelling Chord's transfer-on-leave. The invariant the
+// property tests pin: a stored key is Get-able iff at least one of its
+// current holders (Holders) is up.
 package dht
 
 import (
@@ -23,8 +35,17 @@ import (
 // entries.
 const DefaultReplication = 3
 
-// hashKey maps a string onto the 64-bit identifier ring.
-func hashKey(s string) uint64 {
+// PresenceKey is the well-known directory key under which an instance
+// publishes its presence record (its federation peer list) — the record a
+// DHT-bootstrapped crawler walks instead of fetching live peer lists.
+func PresenceKey(domain string) string { return "instance:" + domain }
+
+// AuthorKey is the directory key under which an author's replica-holder
+// record (the §5.2 global toot index entry) is published.
+func AuthorKey(id int32) string { return fmt.Sprintf("author:%d", id) }
+
+// fnvKey maps a string onto the 64-bit identifier ring.
+func fnvKey(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
@@ -38,15 +59,16 @@ type node struct {
 }
 
 // Ring is a Chord-style DHT over named nodes. All methods are safe for
-// concurrent use.
+// concurrent use; read paths (Lookup, Get, Holders, RouteStats) share a
+// read lock and never block each other.
 type Ring struct {
 	mu          sync.RWMutex
 	replication int
-	nodes       []*node // sorted by id
+	hash        func(string) uint64 // test hook; fnvKey in production
+	nodes       []*node             // sorted by id
 	byName      map[string]*node
 	down        map[string]bool
-	store       map[uint64]entry // key hash → value + home position
-	fingersOK   bool
+	store       map[uint64][]entry // key hash → collision chain of entries
 }
 
 type entry struct {
@@ -62,27 +84,57 @@ func NewRing(replication int) *Ring {
 	}
 	return &Ring{
 		replication: replication,
+		hash:        fnvKey,
 		byName:      make(map[string]*node),
 		down:        make(map[string]bool),
-		store:       make(map[uint64]entry),
+		store:       make(map[uint64][]entry),
 	}
 }
 
-// Join adds a node to the ring. Joining an existing name is a no-op.
+// Replication returns the ring's index replication factor.
+func (r *Ring) Replication() int { return r.replication }
+
+// Join adds a node to the ring and rebuilds every finger table, so lookups
+// need only a read lock. Joining an existing name is a no-op.
 func (r *Ring) Join(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.byName[name]; ok {
-		return
+	if r.joinLocked(name) {
+		r.rebuildFingers()
 	}
-	n := &node{id: hashKey("node:" + name), name: name}
+}
+
+// JoinAll adds many nodes under one lock with a single finger rebuild —
+// Join is O(n·64·log n) per call because of the eager rebuild, so bulk
+// ring construction should use JoinAll.
+func (r *Ring) JoinAll(names []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	changed := false
+	for _, name := range names {
+		if r.joinLocked(name) {
+			changed = true
+		}
+	}
+	if changed {
+		r.rebuildFingers()
+	}
+}
+
+// joinLocked inserts the node and reports whether the membership changed.
+func (r *Ring) joinLocked(name string) bool {
+	if _, ok := r.byName[name]; ok {
+		return false
+	}
+	n := &node{id: r.hash("node:" + name), name: name}
 	r.byName[name] = n
 	r.nodes = append(r.nodes, n)
 	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].id < r.nodes[j].id })
-	r.fingersOK = false
+	return true
 }
 
-// Leave removes a node permanently.
+// Leave removes a node permanently: its keyspace shifts to the next
+// successor (entries are re-homed implicitly — Chord's transfer-on-leave).
 func (r *Ring) Leave(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -98,11 +150,12 @@ func (r *Ring) Leave(name string) {
 			break
 		}
 	}
-	r.fingersOK = false
+	r.rebuildFingers()
 }
 
 // SetDown marks a node as failed (true) or recovered (false) without
-// removing it from the ring — the §5 failure model.
+// removing it from the ring — the §5 failure model. A down node keeps its
+// keyspace; the index copies it holds are unreachable until recovery.
 func (r *Ring) SetDown(name string, down bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -116,11 +169,51 @@ func (r *Ring) SetDown(name string, down bool) {
 	}
 }
 
+// Down reports whether the named member is marked failed. Unknown names
+// report false.
+func (r *Ring) Down(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.down[name]
+}
+
 // Size returns the number of ring members (up or down).
 func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.nodes)
+}
+
+// Alive returns the number of ring members not marked down.
+func (r *Ring) Alive() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes) - len(r.down)
+}
+
+// Members returns the member names in ring order (ascending id).
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Keys returns every stored key, sorted — the scenario's sampling frame.
+func (r *Ring) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.store))
+	for _, chain := range r.store {
+		for _, e := range chain {
+			out = append(out, e.key)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // successorIndex returns the position of the first node with id ≥ h
@@ -133,7 +226,9 @@ func (r *Ring) successorIndex(h uint64) int {
 	return i
 }
 
-// rebuildFingers recomputes every node's finger table. O(n · 64 · log n).
+// rebuildFingers recomputes every node's finger table. O(n · 64 · log n);
+// called eagerly from Join/JoinAll/Leave under the write lock so the read
+// paths never mutate.
 func (r *Ring) rebuildFingers() {
 	for _, n := range r.nodes {
 		n.finger = n.finger[:0]
@@ -142,24 +237,22 @@ func (r *Ring) rebuildFingers() {
 			n.finger = append(n.finger, r.successorIndex(target))
 		}
 	}
-	r.fingersOK = true
 }
 
 // distance is the clockwise distance from a to b on the ring.
 func distance(a, b uint64) uint64 { return b - a } // uint64 wraparound is exactly ring arithmetic
 
 // Lookup routes from an arbitrary start node to the key's successor,
-// returning the owner name and the hop count. It panics on an empty ring.
-func (r *Ring) Lookup(key string) (owner string, hops int) {
-	r.mu.Lock()
+// returning the owner name and the hop count. It errors on an empty ring —
+// a churn script that drains the ring degrades gracefully instead of
+// crashing the campaign.
+func (r *Ring) Lookup(key string) (owner string, hops int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if len(r.nodes) == 0 {
-		r.mu.Unlock()
-		panic("dht: lookup on empty ring")
+		return "", 0, fmt.Errorf("dht: lookup on empty ring")
 	}
-	if !r.fingersOK {
-		r.rebuildFingers()
-	}
-	h := hashKey(key)
+	h := r.hash(key)
 	target := r.nodes[r.successorIndex(h)]
 	// Route greedily from a deterministic start (the key hash rotated, so
 	// different keys start at different nodes).
@@ -187,9 +280,7 @@ func (r *Ring) Lookup(key string) (owner string, hops int) {
 		cur = best
 		hops++
 	}
-	name := target.name
-	r.mu.Unlock()
-	return name, hops
+	return target.name, hops, nil
 }
 
 // replicaNodes returns the first k distinct ring members responsible for h.
@@ -206,21 +297,57 @@ func (r *Ring) replicaNodes(h uint64) []*node {
 	return out
 }
 
+// Holders returns the names of the ring members currently responsible for
+// key — its first ReplicationFactor distinct successors, up or down (see
+// the package's placement model). It errors on an empty ring.
+func (r *Ring) Holders(key string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.nodes) == 0 {
+		return nil, fmt.Errorf("dht: holders on empty ring")
+	}
+	return r.holderNamesLocked(r.hash(key)), nil
+}
+
+func (r *Ring) holderNamesLocked(h uint64) []string {
+	nodes := r.replicaNodes(h)
+	holders := make([]string, len(nodes))
+	for i, n := range nodes {
+		holders[i] = n.name
+	}
+	return holders
+}
+
 // Put stores the value under key, replicated onto the key's successor
-// list. It returns the names of the index holders.
-func (r *Ring) Put(key string, value []string) []string {
+// list, and returns the names of the index holders. Placement ignores
+// liveness (see the package's placement model): a down member stays a
+// holder, its copy unreachable until recovery, so putting before or after
+// a SetDown yields identical Get behaviour. Storing an existing key
+// replaces its value. It errors on an empty ring.
+func (r *Ring) Put(key string, value []string) ([]string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.nodes) == 0 {
-		panic("dht: put on empty ring")
+		return nil, fmt.Errorf("dht: put on empty ring")
 	}
-	h := hashKey(key)
-	r.store[h] = entry{key: key, value: append([]string(nil), value...)}
-	holders := make([]string, 0, r.replication)
-	for _, n := range r.replicaNodes(h) {
-		holders = append(holders, n.name)
+	h := r.hash(key)
+	e := entry{key: key, value: append([]string(nil), value...)}
+	chain := r.store[h]
+	replaced := false
+	for i := range chain {
+		// Same 64-bit hash, same key: replace. Different keys that collide
+		// share the chain — the second Put must not clobber the first.
+		if chain[i].key == key {
+			chain[i] = e
+			replaced = true
+			break
+		}
 	}
-	return holders
+	if !replaced {
+		chain = append(chain, e)
+	}
+	r.store[h] = chain
+	return r.holderNamesLocked(h), nil
 }
 
 // Get retrieves the value for key. It fails when the key is absent or when
@@ -232,9 +359,16 @@ func (r *Ring) Get(key string) (value []string, attempts int, err error) {
 	if len(r.nodes) == 0 {
 		return nil, 0, fmt.Errorf("dht: empty ring")
 	}
-	h := hashKey(key)
-	e, ok := r.store[h]
-	if !ok || e.key != key {
+	h := r.hash(key)
+	var e *entry
+	chain := r.store[h]
+	for i := range chain {
+		if chain[i].key == key {
+			e = &chain[i]
+			break
+		}
+	}
+	if e == nil {
 		return nil, 0, fmt.Errorf("dht: key %q not found", key)
 	}
 	for _, n := range r.replicaNodes(h) {
@@ -254,19 +388,23 @@ type Stats struct {
 }
 
 // RouteStats measures lookup hop counts for n synthetic keys — the
-// O(log N) routing property.
+// O(log N) routing property. An empty ring yields zero stats.
 func (r *Ring) RouteStats(n int) Stats {
-	s := Stats{Keys: n}
+	s := Stats{}
 	total := 0
 	for i := 0; i < n; i++ {
-		_, hops := r.Lookup(fmt.Sprintf("probe-key-%d", i))
+		_, hops, err := r.Lookup(fmt.Sprintf("probe-key-%d", i))
+		if err != nil {
+			break
+		}
+		s.Keys++
 		total += hops
 		if hops > s.MaxHops {
 			s.MaxHops = hops
 		}
 	}
-	if n > 0 {
-		s.MeanHops = float64(total) / float64(n)
+	if s.Keys > 0 {
+		s.MeanHops = float64(total) / float64(s.Keys)
 	}
 	return s
 }

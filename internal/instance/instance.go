@@ -140,6 +140,12 @@ func (s *Server) BlocksDomain(domain string) bool {
 // Domain implements federation.Inbox.
 func (s *Server) Domain() string { return s.cfg.Domain }
 
+// PeerDomains returns the distinct remote domains this instance federates
+// with, sorted — the peer list /api/v1/instance/peers serves, and the
+// payload of the presence record an instance publishes to the DHT
+// directory.
+func (s *Server) PeerDomains() []string { return s.subs.PeerDomains() }
+
 // Config returns a copy of the server's configuration.
 func (s *Server) Config() Config { return s.cfg }
 

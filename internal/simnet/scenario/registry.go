@@ -11,6 +11,7 @@ var builders = map[string]func(seed uint64) *Scenario{
 	"chaos-storm":         ChaosStorm,
 	"outage-storm":        OutageStorm,
 	"churn-during-crawl":  ChurnDuringCrawl,
+	"dht-churn":           DHTChurn,
 	"live-replication":    LiveReplication,
 	"incremental-recrawl": IncrementalRecrawl,
 	"fleet-worker-death":  FleetWorkerDeath,

@@ -69,6 +69,20 @@ type Scenario struct {
 	// an instance it has never seen.
 	DiscoverEvery int
 
+	// Discoverer, when set, replaces the snowball round with a custom
+	// discovery source — e.g. a DHT bootstrap walking the decentralised
+	// directory's presence records instead of fetching peer lists from
+	// live instances. It returns the discovered domain set (sorted);
+	// fresh domains join the probe population exactly as with snowball.
+	Discoverer func(ctx context.Context, r *Run) []string
+
+	// EachSlot, when set, runs once per campaign slot, after the outage
+	// injector applies the slot and before the probe round — the hook a
+	// decentralised directory uses to Sync ring liveness with the
+	// injected outages and to sample per-slot series. slot is the
+	// campaign offset (0 ≤ slot < Slots).
+	EachSlot func(ctx context.Context, r *Run, slot int) error
+
 	// Events is the script, fired in At order (ties keep script order).
 	Events []Event
 
@@ -189,11 +203,20 @@ func (r *Run) CrawlNow(ctx context.Context) (*Snapshot, error) {
 	return &Snapshot{Slot: r.rounds, Res: res, World: w, Names: names}, nil
 }
 
-// discover runs one snowball round from the scenario seeds and adds fresh
+// Seeds returns the scenario's discovery seed domains.
+func (r *Run) Seeds() []string { return append([]string(nil), r.seeds...) }
+
+// discover runs one discovery round — the scenario's custom Discoverer if
+// set, a snowball round from the scenario seeds otherwise — and adds fresh
 // domains to the probe population, recording the round in the report.
 func (r *Run) discover(ctx context.Context, atSlot int) {
-	d := &crawler.Discoverer{Client: r.H.Client, Workers: r.Scenario.ProbeWorkers}
-	found := d.Discover(ctx, r.seeds)
+	var found []string
+	if r.Scenario.Discoverer != nil {
+		found = r.Scenario.Discoverer(ctx, r)
+	} else {
+		d := &crawler.Discoverer{Client: r.H.Client, Workers: r.Scenario.ProbeWorkers}
+		found = d.Discover(ctx, r.seeds)
+	}
 	fresh := make([]string, 0, 2)
 	for _, dom := range found { // found is sorted
 		if !r.known[dom] {
@@ -289,6 +312,11 @@ func (sc *Scenario) Run(ctx context.Context) (*Report, error) {
 		// crawls and discovery rounds all stretch the elastic clock).
 		at := slotTime(slot)
 		h.Clock.AdvanceTo(at)
+		if sc.EachSlot != nil {
+			if err := sc.EachSlot(ctx, r, s); err != nil {
+				return nil, fmt.Errorf("scenario %s: each-slot at %d: %w", sc.Name, s, err)
+			}
+		}
 		r.mon.Domains = r.domains
 		r.mon.Now = func() time.Time { return at }
 		r.Log.Add(r.mon.PollOnce(ctx))

@@ -76,6 +76,30 @@ func TestScenarioChurn(t *testing.T) {
 	}
 }
 
+// TestScenarioDHTChurn: the DHT directory must out-survive the centralised
+// registry baseline the tail storm kills, surface the newbie via DHT
+// bootstrap at its first post-registration round, keep the killed
+// instance's presence record resolvable, route in O(log N), and place
+// replicas by ring keyspace to beat No-Rep availability.
+func TestScenarioDHTChurn(t *testing.T) {
+	rep := runTwice(t, DHTChurn)
+	if got := rep.MustMetric("discovery.newbie_slot"); got != 96 {
+		t.Fatalf("newbie discovered at slot %v, want 96 (next bootstrap round after slot-60 registration)", got)
+	}
+	if d, c := rep.MustMetric("dir.lookup_success.dht_mean"), rep.MustMetric("dir.lookup_success.central_mean"); d <= c {
+		t.Fatalf("DHT lookup success %.4f not above central %.4f", d, c)
+	}
+	if rep.MustMetric("kill.victim_presence_resolvable") != 1 {
+		t.Fatal("killed instance's presence record lost from the ring")
+	}
+	if dhtF, snowF := rep.MustMetric("storm.discovery.dht_found"), rep.MustMetric("storm.discovery.snowball_found"); dhtF <= snowF {
+		t.Fatalf("DHT bootstrap (%.0f) did not out-discover snowball (%.0f) under the storm", dhtF, snowF)
+	}
+	if rep.FinalDomains != rep.Instances+1 {
+		t.Fatalf("final population %d, want %d", rep.FinalDomains, rep.Instances+1)
+	}
+}
+
 // TestScenarioLiveReplication: the §5.2 strategies evaluated on the world a
 // live campaign crawled, under the down mask the final probe round actually
 // measured, must reproduce the paper's ordering — random replication
@@ -163,8 +187,8 @@ func TestScenarioChaosStorm(t *testing.T) {
 // unknowns.
 func TestScenarioRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 6 {
-		t.Fatalf("registry has %d scenarios, want 6", len(names))
+	if len(names) != 7 {
+		t.Fatalf("registry has %d scenarios, want 7", len(names))
 	}
 	for _, n := range names {
 		sc, err := ByName(n, 0)
